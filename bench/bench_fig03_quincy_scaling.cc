@@ -1,0 +1,61 @@
+// Figure 3: Quincy's approach (from-scratch cost scaling) scales poorly as
+// cluster size grows.
+//
+// Replays trace-shaped churn on simulated clusters of increasing size at
+// ~50% slot utilization with the Quincy policy, and measures the algorithm
+// runtime of a from-scratch cost scaling solve per scheduling round (what
+// Quincy's cs2 does). The paper reports a 64 s median / 83 s p99 at 12,500
+// machines; the reproduction target is the growth shape, not absolute
+// numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/solvers/cost_scaling.h"
+
+namespace firmament {
+namespace {
+
+void QuincyScaling(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const int slots = 10;
+  bench::BenchEnv env(bench::PolicyKind::kQuincy, machines, slots);
+  SimTime now = env.FillToUtilization(0.5, 0);
+  const int churn_tasks = std::max(4, machines / 10);
+
+  Distribution dist;
+  CostScaling solver;  // from scratch each round, like Quincy's cs2
+  for (auto _ : state) {
+    env.Churn(churn_tasks, churn_tasks, now);
+    now += kMicrosPerSecond;
+    env.scheduler().RunSchedulingRound(now);
+    FlowNetwork copy = *env.network();
+    SolveStats stats = solver.Solve(&copy);
+    state.SetIterationTime(static_cast<double>(stats.runtime_us) / 1e6);
+    dist.Add(static_cast<double>(stats.runtime_us) / 1e6);
+  }
+  bench::ReportDistribution(state, dist);
+  state.counters["tasks"] = static_cast<double>(env.cluster().num_tasks());
+}
+
+}  // namespace
+}  // namespace firmament
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  firmament::bench::PrintFigureHeader(
+      "Figure 3", "Quincy (from-scratch cost scaling) algorithm runtime vs cluster size");
+  std::vector<int> sizes = firmament::bench::FullScale()
+                               ? std::vector<int>{50, 450, 850, 1250, 2500, 5000, 7500, 10000, 12500}
+                               : std::vector<int>{50, 150, 450, 850, 1250};
+  for (int machines : sizes) {
+    benchmark::RegisterBenchmark("fig03/quincy_cost_scaling", firmament::QuincyScaling)
+        ->Arg(machines)
+        ->Iterations(firmament::bench::Scaled(5, 8))
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

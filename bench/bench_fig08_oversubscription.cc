@@ -1,0 +1,83 @@
+// Figure 8: close to full cluster utilization, relaxation runtime increases
+// dramatically while cost scaling is unaffected.
+//
+// Starting from a 90%-utilized snapshot (Quincy policy), increasingly large
+// jobs are submitted to push the cluster towards (and past) full slot
+// utilization; at each step both algorithms solve the same graph from
+// scratch. The paper's crossover sits at ~93% utilization.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/solvers/cost_scaling.h"
+#include "src/solvers/relaxation.h"
+
+namespace firmament {
+namespace {
+
+struct Point {
+  double utilization;
+  double relaxation_s;
+  double cost_scaling_s;
+};
+std::vector<Point> g_points;
+
+void Oversubscription(benchmark::State& state) {
+  const int machines = bench::Scaled(400, 2000);
+  const int slots = 10;
+  const int target_percent = static_cast<int>(state.range(0));
+  bench::BenchEnv env(bench::PolicyKind::kQuincy, machines, slots);
+  SimTime now = env.FillToUtilization(0.90, 0);
+
+  // Submit one job sized to lift *demand* to the target percentage of total
+  // slots (beyond 100%, tasks necessarily queue on unscheduled aggregators).
+  int64_t total = env.cluster().TotalSlots();
+  int64_t target_tasks = total * target_percent / 100;
+  int64_t extra = target_tasks - env.cluster().UsedSlots();
+  if (extra > 0) {
+    env.SubmitBatchJob(static_cast<int>(extra), now);
+  }
+  env.manager().UpdateRound(now);
+
+  Relaxation relaxation;
+  CostScaling cost_scaling;
+  double relax_s = 0;
+  double cs_s = 0;
+  for (auto _ : state) {
+    FlowNetwork relax_net = *env.network();
+    SolveStats relax_stats = relaxation.Solve(&relax_net);
+    FlowNetwork cs_net = *env.network();
+    SolveStats cs_stats = cost_scaling.Solve(&cs_net);
+    relax_s = static_cast<double>(relax_stats.runtime_us) / 1e6;
+    cs_s = static_cast<double>(cs_stats.runtime_us) / 1e6;
+    state.SetIterationTime(relax_s + cs_s);
+  }
+  state.counters["relaxation_s"] = relax_s;
+  state.counters["cost_scaling_s"] = cs_s;
+  g_points.push_back({static_cast<double>(target_percent), relax_s, cs_s});
+}
+
+}  // namespace
+}  // namespace firmament
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  firmament::bench::PrintFigureHeader(
+      "Figure 8", "relaxation vs cost scaling runtime near full slot utilization");
+  for (int percent : {91, 93, 95, 97, 99, 100, 102}) {
+    benchmark::RegisterBenchmark("fig08/utilization_pct", firmament::Oversubscription)
+        ->Arg(percent)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\nFigure 8 series (slot demand %% -> runtime):\n");
+  std::printf("%12s %16s %16s\n", "demand[%]", "relaxation[s]", "cost_scaling[s]");
+  for (const auto& point : firmament::g_points) {
+    std::printf("%12.0f %16.4f %16.4f\n", point.utilization, point.relaxation_s,
+                point.cost_scaling_s);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 9: scheduling-policy-induced contention slows the relaxation
+// algorithm — its runtime grows linearly with the size of a single arriving
+// job under the load-spreading policy, crossing cost scaling (~3,000 tasks
+// in the paper).
+//
+// The load-spreading policy makes every under-populated machine a popular
+// destination (§4.3): all new tasks compete through the cluster aggregator
+// for the same cheap slots, which is exactly the structure relaxation's
+// scanned-cut iterations handle poorly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/solvers/cost_scaling.h"
+#include "src/solvers/relaxation.h"
+
+namespace firmament {
+namespace {
+
+struct Point {
+  int job_tasks;
+  double relaxation_s;
+  double cost_scaling_s;
+};
+std::vector<Point> g_points;
+
+void LargeJob(benchmark::State& state) {
+  const int machines = bench::Scaled(400, 1250);
+  const int slots = 10;
+  const int job_tasks = static_cast<int>(state.range(0));
+  bench::BenchEnv env(bench::PolicyKind::kLoadSpreading, machines, slots);
+  SimTime now = env.FillToUtilization(0.3, 0);
+  if (job_tasks > 0) {
+    env.SubmitBatchJob(job_tasks, now);
+  }
+  env.manager().UpdateRound(now);
+
+  Relaxation relaxation;
+  CostScaling cost_scaling;
+  double relax_s = 0;
+  double cs_s = 0;
+  for (auto _ : state) {
+    FlowNetwork relax_net = *env.network();
+    relax_s = static_cast<double>(relaxation.Solve(&relax_net).runtime_us) / 1e6;
+    FlowNetwork cs_net = *env.network();
+    cs_s = static_cast<double>(cost_scaling.Solve(&cs_net).runtime_us) / 1e6;
+    state.SetIterationTime(relax_s + cs_s);
+  }
+  state.counters["relaxation_s"] = relax_s;
+  state.counters["cost_scaling_s"] = cs_s;
+  g_points.push_back({job_tasks, relax_s, cs_s});
+}
+
+}  // namespace
+}  // namespace firmament
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  firmament::bench::PrintFigureHeader(
+      "Figure 9", "solver runtime vs tasks in a single arriving job (load-spreading policy)");
+  std::vector<int> job_sizes = firmament::bench::FullScale()
+                                   ? std::vector<int>{0, 500, 1000, 2000, 3000, 4000, 5000}
+                                   : std::vector<int>{0, 250, 500, 1000, 1500, 2000};
+  for (int tasks : job_sizes) {
+    benchmark::RegisterBenchmark("fig09/arriving_job_tasks", firmament::LargeJob)
+        ->Arg(tasks)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\nFigure 9 series (arriving job size -> runtime):\n");
+  std::printf("%12s %16s %16s\n", "job[tasks]", "relaxation[s]", "cost_scaling[s]");
+  for (const auto& point : firmament::g_points) {
+    std::printf("%12d %16.4f %16.4f\n", point.job_tasks, point.relaxation_s,
+                point.cost_scaling_s);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 13: applying price refine to the prior relaxation solution speeds
+// up the next incremental cost scaling run (paper: 4x in 90% of cases).
+//
+// Reproduces §6.2's handoff loop: relaxation solves each round (the common-
+// case winner); before the next round's changes, potentials for incremental
+// cost scaling are derived from relaxation's solution either by price refine
+// (minimal complementary-slackness potentials) or by taking relaxation's raw
+// potentials. The next round's incremental cost scaling runtime is the
+// measured quantity, reported as a CDF.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/placement_extractor.h"
+#include "src/solvers/cost_scaling.h"
+#include "src/solvers/relaxation.h"
+#include "src/solvers/solver_util.h"
+
+namespace firmament {
+namespace {
+
+Distribution g_with_refine;
+Distribution g_without_refine;
+
+void PriceRefineHandoff(benchmark::State& state) {
+  const bool refine = state.range(0) == 1;
+  const int machines = bench::Scaled(400, 1250);
+  bench::BenchEnv env(bench::PolicyKind::kQuincy, machines, 10);
+  SimTime now = env.FillToUtilization(0.6, 0);
+
+  Relaxation relaxation;
+  CostScalingOptions cs_options;
+  cs_options.incremental = true;
+  CostScaling incremental(cs_options);
+  Distribution& dist = refine ? g_with_refine : g_without_refine;
+
+  FlowNetwork* net = env.network();
+  for (auto _ : state) {
+    // Relaxation wins the round on the canonical graph.
+    env.manager().UpdateRound(now);
+    SolveStats relax_stats = relaxation.Solve(net);
+    CHECK(relax_stats.outcome == SolveOutcome::kOptimal);
+
+    // §6.2: derive warm-start potentials from this solution BEFORE applying
+    // the next round's changes.
+    std::vector<int64_t> potentials;
+    if (refine) {
+      CHECK(PriceRefine(*net, &potentials));
+    } else {
+      potentials = relaxation.potentials();
+    }
+    incremental.ImportPotentials(std::move(potentials));
+    net->ClearChanges();
+
+    // Apply placements so churn sees running tasks, then mutate the cluster.
+    ExtractionResult extraction = ExtractPlacements(env.manager());
+    for (const auto& [task, machine] : extraction.placements) {
+      if (machine != kInvalidMachineId &&
+          env.cluster().task(task).state == TaskState::kWaiting) {
+        env.cluster().PlaceTask(task, machine, now);
+      }
+    }
+    env.Churn(machines / 8, machines / 8, now);
+    now += kMicrosPerSecond;
+    env.manager().UpdateRound(now);
+
+    // Measured: the next incremental cost scaling run, warm-started from the
+    // relaxation solution + imported potentials.
+    FlowNetwork cs_net = *net;
+    SolveStats cs_stats = incremental.Solve(&cs_net);
+    CHECK(cs_stats.outcome == SolveOutcome::kOptimal);
+    double seconds = static_cast<double>(cs_stats.runtime_us) / 1e6;
+    state.SetIterationTime(seconds);
+    dist.Add(seconds);
+    net->ClearChanges();
+  }
+  bench::ReportDistribution(state, dist);
+}
+
+}  // namespace
+}  // namespace firmament
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  firmament::bench::PrintFigureHeader(
+      "Figure 13", "incremental cost scaling runtime with/without price refine at handoff");
+  for (int refine : {0, 1}) {
+    benchmark::RegisterBenchmark(refine ? "fig13/price_refine_plus_cost_scaling"
+                                        : "fig13/cost_scaling_raw_handoff",
+                                 firmament::PriceRefineHandoff)
+        ->Arg(refine)
+        ->Iterations(firmament::bench::Scaled(8, 15))
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\nFigure 13 CDF of incremental cost scaling runtimes [s]:\n");
+  std::printf("-- with price refine --\n%s",
+              firmament::FormatCdf(firmament::g_with_refine, 10).c_str());
+  std::printf("-- without price refine --\n%s",
+              firmament::FormatCdf(firmament::g_without_refine, 10).c_str());
+  std::printf("median speedup from price refine: %.2fx\n",
+              firmament::g_without_refine.Median() / firmament::g_with_refine.Median());
+  benchmark::Shutdown();
+  return 0;
+}

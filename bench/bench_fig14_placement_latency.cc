@@ -1,0 +1,92 @@
+// Figure 14: task placement latency CDF — Firmament vs Quincy on a trace
+// replay at 90% slot utilization.
+//
+// Firmament (racing solver, relaxation usually winning) places tasks in
+// hundreds of milliseconds; Quincy (from-scratch cost scaling, α tuned to 9
+// per §7.2 footnote 3) takes tens of seconds at paper scale. Placement
+// quality is identical — both compute min-cost flows. The simulation charges
+// measured solver wall time to the simulated clock, so placement latency
+// includes time spent waiting for in-flight solver runs (Fig. 2b).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace_generator.h"
+
+namespace firmament {
+namespace {
+
+Distribution g_firmament;
+Distribution g_quincy;
+
+SimulationMetrics RunTraceSim(SolverMode mode, int64_t alpha, int machines, SimTime duration) {
+  FirmamentSchedulerOptions options;
+  options.solver.mode = mode;
+  options.solver.cost_scaling_alpha = alpha;
+  bench::BenchEnv env(bench::PolicyKind::kQuincy, machines, 12, options);
+
+  TraceGeneratorParams trace;
+  trace.num_machines = machines;
+  trace.slots_per_machine = 12;
+  trace.tasks_per_machine = 10.8;  // 90% slot utilization target
+  trace.batch_runtime_log_mean = bench::Scaled(3.0, 4.2);
+  trace.batch_runtime_log_sigma = 0.8;
+  trace.max_job_tasks = bench::Scaled(500, 20'000);
+  trace.seed = 17;
+  TraceGenerator generator(trace);
+
+  SimulatorParams sim_params;
+  sim_params.duration = duration;
+  // Rounds are gated by solver time, not a timer: the paper's flow-based
+  // scheduler reschedules continuously (Fig. 2b), so placement latency is
+  // dominated by algorithm runtime.
+  sim_params.min_round_interval = 10'000;
+  ClusterSimulator sim(&env.scheduler(), &env.cluster(), env.store(), sim_params);
+  sim.LoadTrace(generator.Generate(duration));
+  return sim.Run();
+}
+
+void PlacementLatency(benchmark::State& state) {
+  const bool firmament = state.range(0) == 1;
+  const int machines = bench::Scaled(400, 2500);
+  const SimTime duration = bench::Scaled<SimTime>(45, 120) * kMicrosPerSecond;
+  for (auto _ : state) {
+    SimulationMetrics metrics = RunTraceSim(
+        firmament ? SolverMode::kRace : SolverMode::kCostScalingScratch,
+        /*alpha=*/9, machines, duration);
+    (firmament ? g_firmament : g_quincy) = metrics.placement_latency_seconds;
+    state.SetIterationTime(std::max(1e-9, static_cast<double>(duration) / 1e6));
+    state.counters["rounds"] = static_cast<double>(metrics.rounds);
+    state.counters["placed"] = static_cast<double>(metrics.tasks_placed);
+  }
+  bench::ReportDistribution(state, firmament ? g_firmament : g_quincy);
+}
+
+}  // namespace
+}  // namespace firmament
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  firmament::bench::PrintFigureHeader(
+      "Figure 14", "placement latency CDF: Firmament vs Quincy (90% utilization trace)");
+  for (int firmament : {1, 0}) {
+    benchmark::RegisterBenchmark(firmament ? "fig14/firmament" : "fig14/quincy_cost_scaling",
+                                 firmament::PlacementLatency)
+        ->Arg(firmament)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (!firmament::g_firmament.empty() && !firmament::g_quincy.empty()) {
+    std::printf("\nFigure 14 placement latency CDFs [s]:\n-- Firmament --\n%s",
+                firmament::FormatCdf(firmament::g_firmament, 10).c_str());
+    std::printf("-- Cost scaling (Quincy) --\n%s",
+                firmament::FormatCdf(firmament::g_quincy, 10).c_str());
+    std::printf("median speedup: %.1fx\n",
+                firmament::g_quincy.Median() / std::max(1e-9, firmament::g_firmament.Median()));
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 15 (and Table 15b): Firmament scales to many preference arcs — a
+// lower locality threshold adds arcs per task, improves achievable data
+// locality, and stresses the solver.
+//
+// 14% of input data local => at most ~7 preference arcs per task (Quincy's
+// regime); 2% => many more arcs. Firmament (relaxation) stays fast; Quincy's
+// from-scratch cost scaling slows substantially. The locality table reports
+// the fraction of input bytes local to the chosen machines.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/solvers/cost_scaling.h"
+#include "src/solvers/relaxation.h"
+
+namespace firmament {
+namespace {
+
+struct Row {
+  double threshold;
+  double relax_mean_s;
+  double cs_mean_s;
+  double machine_locality_pct;
+  double rack_locality_pct;
+  double arcs;
+};
+std::vector<Row> g_rows;
+
+struct Locality {
+  double machine_pct = 0;
+  double rack_pct = 0;
+};
+
+Locality MeasureLocality(bench::BenchEnv* env) {
+  int64_t machine_local = 0;
+  int64_t rack_local = 0;
+  int64_t total = 0;
+  for (TaskId task_id : env->cluster().LiveTasks()) {
+    const TaskDescriptor& task = env->cluster().task(task_id);
+    if (task.state != TaskState::kRunning || task.input_size_bytes == 0) {
+      continue;
+    }
+    machine_local += env->store()->BytesOnMachine(task, task.machine);
+    rack_local += env->store()->BytesInRack(task, env->cluster().RackOf(task.machine));
+    total += task.input_size_bytes;
+  }
+  if (total == 0) {
+    return {};
+  }
+  return {100.0 * static_cast<double>(machine_local) / static_cast<double>(total),
+          100.0 * static_cast<double>(rack_local) / static_cast<double>(total)};
+}
+
+void LocalityThreshold(benchmark::State& state) {
+  const double threshold = static_cast<double>(state.range(0)) / 100.0;
+  const int machines = bench::Scaled(300, 1250);
+  QuincyPolicyParams params;
+  params.machine_preference_threshold = threshold;
+  params.rack_preference_threshold = threshold;
+  // A low threshold admits many more preference arcs (the point of Fig. 15).
+  params.max_machine_preference_arcs = threshold < 0.05 ? 48 : 10;
+  bench::BenchEnv env(bench::PolicyKind::kQuincy, machines, 10, {}, params);
+  SimTime now = env.FillToUtilization(0.85, 0);
+
+  Relaxation relaxation;
+  CostScaling cost_scaling;
+  Distribution relax_dist;
+  Distribution cs_dist;
+  for (auto _ : state) {
+    env.Churn(machines / 10, machines / 10, now);
+    now += kMicrosPerSecond;
+    env.scheduler().RunSchedulingRound(now);
+    FlowNetwork relax_net = *env.network();
+    relax_dist.Add(static_cast<double>(relaxation.Solve(&relax_net).runtime_us) / 1e6);
+    FlowNetwork cs_net = *env.network();
+    cs_dist.Add(static_cast<double>(cost_scaling.Solve(&cs_net).runtime_us) / 1e6);
+    state.SetIterationTime(relax_dist.Sorted().back());
+  }
+  state.counters["relax_mean_s"] = relax_dist.Mean();
+  state.counters["cs_mean_s"] = cs_dist.Mean();
+  state.counters["arcs"] = static_cast<double>(env.network()->NumArcs());
+  Locality locality = MeasureLocality(&env);
+  g_rows.push_back({threshold, relax_dist.Mean(), cs_dist.Mean(), locality.machine_pct,
+                    locality.rack_pct, static_cast<double>(env.network()->NumArcs())});
+}
+
+}  // namespace
+}  // namespace firmament
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  firmament::bench::PrintFigureHeader(
+      "Figure 15", "preference-arc threshold: solver runtime and achieved data locality");
+  for (int threshold_pct : {14, 2}) {
+    benchmark::RegisterBenchmark(threshold_pct == 14 ? "fig15/threshold_14pct"
+                                                     : "fig15/threshold_2pct",
+                                 firmament::LocalityThreshold)
+        ->Arg(threshold_pct)
+        ->Iterations(firmament::bench::Scaled(5, 8))
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\nFigure 15 / Table 15b summary:\n");
+  std::printf("%12s %12s %18s %18s %16s %14s\n", "threshold", "arcs", "Firmament(relax)[s]",
+              "Quincy(cs)[s]", "machine-local[%]", "rack-local[%]");
+  for (const auto& row : firmament::g_rows) {
+    std::printf("%11.0f%% %12.0f %18.4f %18.4f %15.1f%% %13.1f%%\n", row.threshold * 100,
+                row.arcs, row.relax_mean_s, row.cs_mean_s, row.machine_locality_pct,
+                row.rack_locality_pct);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

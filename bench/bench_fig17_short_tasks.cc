@@ -1,0 +1,104 @@
+// Figure 17: scalability to sub-second tasks (the Sparrow-style breaking-
+// point experiment [28, Fig. 12]).
+//
+// Jobs of 10 tasks arrive at an interarrival time that keeps the cluster at
+// a constant 80% load while the task duration shrinks. With an ideal
+// scheduler, job response time equals task duration; the breaking point is
+// where the curve departs from the diagonal. The paper reports ~5 ms at 100
+// machines and ~375 ms at 1,000 machines.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/sim/simulator.h"
+
+namespace firmament {
+namespace {
+
+struct Point {
+  int machines;
+  double task_duration_s;
+  double job_response_p50_s;
+  double job_response_p99_s;
+};
+std::vector<Point> g_points;
+
+void ShortTasks(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const SimTime duration_us = static_cast<SimTime>(state.range(1));
+  const int slots = 8;
+  const int tasks_per_job = 10;
+  const int num_jobs = bench::Scaled(400, 1000);
+
+  bench::BenchEnv env(bench::PolicyKind::kLoadSpreading, machines, slots);
+
+  // 80% load: job arrival rate = 0.8 * slots * machines / (10 * duration).
+  double jobs_per_us = 0.8 * slots * machines / (tasks_per_job * static_cast<double>(duration_us));
+  std::vector<TraceJobSpec> jobs;
+  Rng rng(99);
+  SimTime now = 0;
+  for (int j = 0; j < num_jobs; ++j) {
+    now += static_cast<SimTime>(std::max(1.0, rng.NextExponential(1.0 / jobs_per_us)));
+    TraceJobSpec job;
+    job.arrival = now;
+    job.type = JobType::kBatch;
+    for (int t = 0; t < tasks_per_job; ++t) {
+      job.task_runtimes.push_back(duration_us);
+      job.task_input_bytes.push_back(0);
+      job.task_bandwidth_mbps.push_back(0);
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  for (auto _ : state) {
+    SimulatorParams sim_params;
+    sim_params.duration = now + 100 * duration_us + 10 * kMicrosPerSecond;
+    sim_params.min_round_interval = 0;  // rounds are gated by solver time only
+    ClusterSimulator sim(&env.scheduler(), &env.cluster(), nullptr, sim_params);
+    sim.LoadTrace(jobs);
+    SimulationMetrics metrics = sim.Run();
+    double p50 = metrics.batch_job_response_seconds.empty()
+                     ? 0.0
+                     : metrics.batch_job_response_seconds.Median();
+    double p99 = metrics.batch_job_response_seconds.empty()
+                     ? 0.0
+                     : metrics.batch_job_response_seconds.Percentile(0.99);
+    state.SetIterationTime(std::max(1e-9, static_cast<double>(sim_params.duration) / 1e6));
+    state.counters["job_response_p50_s"] = p50;
+    state.counters["ideal_s"] = static_cast<double>(duration_us) / 1e6;
+    g_points.push_back({machines, static_cast<double>(duration_us) / 1e6, p50, p99});
+  }
+}
+
+}  // namespace
+}  // namespace firmament
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  firmament::bench::PrintFigureHeader(
+      "Figure 17", "job response time vs task duration (breaking point, 80% load)");
+  std::vector<int> machine_counts =
+      firmament::bench::FullScale() ? std::vector<int>{100, 1000} : std::vector<int>{100};
+  std::vector<int64_t> durations_us = {5'000'000, 2'000'000, 1'000'000, 500'000,
+                                       200'000,   100'000,   50'000,    20'000,
+                                       10'000,    5'000};
+  for (int machines : machine_counts) {
+    for (int64_t duration : durations_us) {
+      benchmark::RegisterBenchmark("fig17/breaking_point", firmament::ShortTasks)
+          ->Args({machines, duration})
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\nFigure 17 series (ideal = task duration):\n");
+  std::printf("%10s %16s %20s %20s\n", "machines", "duration[s]", "job_response_p50[s]",
+              "job_response_p99[s]");
+  for (const auto& point : firmament::g_points) {
+    std::printf("%10d %16.3f %20.4f %20.4f\n", point.machines, point.task_duration_s,
+                point.job_response_p50_s, point.job_response_p99_s);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

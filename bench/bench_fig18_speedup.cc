@@ -1,0 +1,93 @@
+// Figure 18: placement latency under accelerated traces — Firmament (racing
+// solver) keeps up with a 300x-accelerated Google workload, while
+// relaxation-only develops multi-second tails past 150x.
+//
+// The speedup factor divides task runtimes and interarrival times, emulating
+// a future workload of ever-shorter tasks over long-running services (§7.4).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace_generator.h"
+
+namespace firmament {
+namespace {
+
+struct Point {
+  const char* config;
+  int speedup;
+  double p50_s;
+  double p99_s;
+  double max_s;
+};
+std::vector<Point> g_points;
+
+void Speedup(benchmark::State& state) {
+  const bool race = state.range(0) == 1;
+  const int speedup = static_cast<int>(state.range(1));
+  const int machines = bench::Scaled(150, 1000);
+  const SimTime duration = bench::Scaled<SimTime>(20, 90) * kMicrosPerSecond;
+
+  FirmamentSchedulerOptions options;
+  options.solver.mode = race ? SolverMode::kRace : SolverMode::kRelaxationOnly;
+  bench::BenchEnv env(bench::PolicyKind::kQuincy, machines, 12, options);
+
+  TraceGeneratorParams trace;
+  trace.num_machines = machines;
+  trace.slots_per_machine = 12;
+  trace.tasks_per_machine = 9.0;
+  trace.batch_runtime_log_mean = 4.2;  // Google-like before acceleration
+  trace.batch_runtime_log_sigma = 0.9;
+  trace.max_job_tasks = bench::Scaled(400, 5000);
+  trace.speedup = static_cast<double>(speedup);
+  trace.seed = 31;
+  TraceGenerator generator(trace);
+
+  for (auto _ : state) {
+    SimulatorParams sim_params;
+    sim_params.duration = duration;
+    ClusterSimulator sim(&env.scheduler(), &env.cluster(), env.store(), sim_params);
+    sim.LoadTrace(generator.Generate(duration));
+    SimulationMetrics metrics = sim.Run();
+    const Distribution& latency = metrics.placement_latency_seconds;
+    state.SetIterationTime(std::max(1e-9, static_cast<double>(duration) / 1e6));
+    if (!latency.empty()) {
+      state.counters["p50_s"] = latency.Median();
+      state.counters["p99_s"] = latency.Percentile(0.99);
+      g_points.push_back({race ? "firmament" : "relaxation_only", speedup, latency.Median(),
+                          latency.Percentile(0.99), latency.Max()});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace firmament
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  firmament::bench::PrintFigureHeader(
+      "Figure 18", "placement latency vs trace acceleration: Firmament vs relaxation-only");
+  std::vector<int> speedups = firmament::bench::FullScale()
+                                  ? std::vector<int>{50, 100, 150, 200, 250, 300}
+                                  : std::vector<int>{25, 50, 100, 150};
+  for (int race : {1, 0}) {
+    for (int speedup : speedups) {
+      benchmark::RegisterBenchmark(race ? "fig18/firmament" : "fig18/relaxation_only",
+                                   firmament::Speedup)
+          ->Args({race, speedup})
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\nFigure 18 series (placement latency percentiles per speedup):\n");
+  std::printf("%-18s %10s %12s %12s %12s\n", "config", "speedup", "p50[s]", "p99[s]", "max[s]");
+  for (const auto& point : firmament::g_points) {
+    std::printf("%-18s %9dx %12.4f %12.4f %12.4f\n", point.config, point.speedup, point.p50_s,
+                point.p99_s, point.max_s);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

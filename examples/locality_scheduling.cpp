@@ -1,0 +1,67 @@
+// Data-locality-aware batch scheduling with the Quincy policy (Fig. 6b).
+//
+// A MapReduce-style job reads replicated input blocks from an HDFS-like
+// block store. Firmament's flow network gives each task preference arcs to
+// machines/racks holding its input, a fallback through the cluster
+// aggregator, and an unscheduled arc whose cost grows with wait time. The
+// min-cost flow trades data locality against queueing globally — not
+// task-by-task.
+
+#include <cstdio>
+
+#include "src/core/cluster.h"
+#include "src/core/quincy_policy.h"
+#include "src/core/scheduler.h"
+#include "src/sim/block_store.h"
+
+int main() {
+  using namespace firmament;
+
+  ClusterState cluster;
+  BlockStore store(&cluster, /*seed=*/7, /*block_size_bytes=*/256'000'000, /*replication=*/3);
+  QuincyPolicy policy(&cluster, &store);
+  FirmamentScheduler scheduler(&cluster, &policy);
+
+  // Three racks of eight machines.
+  for (int r = 0; r < 3; ++r) {
+    RackId rack = cluster.AddRack();
+    for (int m = 0; m < 8; ++m) {
+      scheduler.AddMachine(rack, MachineSpec{.slots = 4});
+    }
+  }
+
+  // A 16-task batch job; each task reads a 1 GB replicated input.
+  std::vector<TaskDescriptor> tasks(16);
+  for (TaskDescriptor& task : tasks) {
+    task.runtime = 120 * kMicrosPerSecond;
+    task.input_size_bytes = 1'000'000'000;
+    task.input_blocks = store.AllocateInput(task.input_size_bytes);
+  }
+  JobId job = scheduler.SubmitJob(JobType::kBatch, 0, std::move(tasks), 0);
+  SchedulerRoundResult result = scheduler.RunSchedulingRound(kMicrosPerSecond);
+  std::printf("placed %zu/16 tasks using %s\n", result.tasks_placed,
+              result.solver_stats.algorithm.c_str());
+
+  // Report achieved locality per task.
+  int64_t local_bytes = 0;
+  int64_t total_bytes = 0;
+  for (TaskId id : cluster.job(job).tasks) {
+    const TaskDescriptor& task = cluster.task(id);
+    if (task.state != TaskState::kRunning) {
+      continue;
+    }
+    int64_t on_machine = store.BytesOnMachine(task, task.machine);
+    int64_t in_rack = store.BytesInRack(task, cluster.RackOf(task.machine));
+    local_bytes += on_machine;
+    total_bytes += task.input_size_bytes;
+    std::printf("  task %2llu -> machine %2u: %5.1f%% machine-local, %5.1f%% rack-local\n",
+                static_cast<unsigned long long>(id), task.machine,
+                100.0 * static_cast<double>(on_machine) / static_cast<double>(task.input_size_bytes),
+                100.0 * static_cast<double>(in_rack) / static_cast<double>(task.input_size_bytes));
+  }
+  std::printf("aggregate machine-local input: %.1f%%\n",
+              total_bytes == 0 ? 0.0
+                               : 100.0 * static_cast<double>(local_bytes) /
+                                     static_cast<double>(total_bytes));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Network-aware scheduling (Fig. 6c): avoid overcommitting machine NICs.
+//
+// Tasks with bandwidth requests connect to request aggregators; arcs to
+// machines exist only where spare bandwidth suffices, priced by current
+// link utilization. The example shows Firmament steering tasks away from a
+// machine saturated by high-priority background traffic and balancing the
+// rest — the mechanism behind the paper's 6x tail-latency win (§7.5).
+
+#include <cstdio>
+
+#include "src/core/cluster.h"
+#include "src/core/network_aware_policy.h"
+#include "src/core/scheduler.h"
+
+int main() {
+  using namespace firmament;
+
+  ClusterState cluster;
+  NetworkAwarePolicy policy(&cluster);
+  FirmamentScheduler scheduler(&cluster, &policy);
+  RackId rack = cluster.AddRack();
+  for (int m = 0; m < 8; ++m) {
+    scheduler.AddMachine(rack, MachineSpec{.slots = 8, .nic_bandwidth_mbps = 10'000});
+  }
+
+  // Machines 0-1 carry heavy high-priority background traffic (e.g. iperf
+  // batch flows in a priority network service class).
+  cluster.mutable_machine(0).background_bandwidth_mbps = 9'000;
+  cluster.mutable_machine(1).background_bandwidth_mbps = 7'000;
+
+  // Twelve analytics tasks, each wanting 2 Gbps for its input shuffle.
+  std::vector<TaskDescriptor> tasks(12);
+  for (TaskDescriptor& task : tasks) {
+    task.runtime = 30 * kMicrosPerSecond;
+    task.bandwidth_request_mbps = 2'000;
+  }
+  scheduler.SubmitJob(JobType::kBatch, 0, std::move(tasks), 0);
+  SchedulerRoundResult result = scheduler.RunSchedulingRound(kMicrosPerSecond);
+
+  std::printf("placed %zu/12 tasks (%zu unscheduled: nowhere with spare bandwidth)\n",
+              result.tasks_placed, result.tasks_unscheduled);
+  std::printf("%-8s %12s %12s %14s\n", "machine", "background", "reserved", "tasks");
+  for (const MachineDescriptor& machine : cluster.machines()) {
+    std::printf("%-8u %9ld Mbps %9ld Mbps %14d\n", machine.id,
+                static_cast<long>(machine.background_bandwidth_mbps),
+                static_cast<long>(machine.used_bandwidth_mbps), machine.running_tasks);
+  }
+  std::printf("machine 0 (90%% busy link) received no tasks; the rest are balanced.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Lightweight CHECK/DCHECK invariant macros.
+//
+// The scheduler and solvers never throw on hot paths; impossible states abort
+// with a message instead (Google-style CHECK semantics). DCHECK compiles out
+// in NDEBUG builds and is used for per-arc/per-node invariants inside solver
+// inner loops where the cost of checking would distort benchmarks.
+
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace firmament {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace firmament
+
+#define CHECK(expr)                                      \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::firmament::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                    \
+  } while (0)
+
+#define CHECK_OP(a, b, op) CHECK((a)op(b))
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+#ifdef NDEBUG
+#define DCHECK(expr) \
+  do {               \
+  } while (0)
+#else
+#define DCHECK(expr) CHECK(expr)
+#endif
+
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+
+#endif  // SRC_BASE_CHECK_H_

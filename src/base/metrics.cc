@@ -1,0 +1,98 @@
+#include "src/base/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace firmament {
+
+void Distribution::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+}
+
+void Distribution::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Distribution::Min() const {
+  CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double Distribution::Max() const {
+  CHECK(!samples_.empty());
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double Distribution::Mean() const {
+  CHECK(!samples_.empty());
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Distribution::Percentile(double q) const {
+  CHECK(!samples_.empty());
+  CHECK_GE(q, 0.0);
+  CHECK_LE(q, 1.0);
+  EnsureSorted();
+  if (sorted_.size() == 1) {
+    return sorted_[0];
+  }
+  double rank = q * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Distribution::CdfAt(double x) const {
+  CHECK(!samples_.empty());
+  EnsureSorted();
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::string Distribution::BoxStats() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "p1=%.3f p25=%.3f p50=%.3f p75=%.3f p99=%.3f max=%.3f",
+                Percentile(0.01), Percentile(0.25), Percentile(0.50), Percentile(0.75),
+                Percentile(0.99), Max());
+  return buf;
+}
+
+const std::vector<double>& Distribution::Sorted() const {
+  EnsureSorted();
+  return sorted_;
+}
+
+void Distribution::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+std::string FormatCdf(const Distribution& dist, int points) {
+  CHECK_GT(points, 1);
+  std::string out;
+  char buf[64];
+  for (int i = 0; i <= points; ++i) {
+    double q = static_cast<double>(i) / static_cast<double>(points);
+    std::snprintf(buf, sizeof(buf), "%12.4f %6.3f\n", dist.Percentile(q), q);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace firmament

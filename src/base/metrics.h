@@ -1,0 +1,56 @@
+// Distribution collection and percentile reporting.
+//
+// Every experiment in the paper reports either percentiles (Figs. 3, 18),
+// averages (Fig. 7), time series (Fig. 16), or CDFs (Figs. 13, 14, 15a, 19).
+// Distribution is the single collection type behind all of them.
+
+#ifndef SRC_BASE_METRICS_H_
+#define SRC_BASE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace firmament {
+
+// An append-only sample set with lazy sorting for quantile queries.
+class Distribution {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  // q in [0, 1]; linear interpolation between closest ranks.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.5); }
+
+  // Fraction of samples <= x (empirical CDF).
+  double CdfAt(double x) const;
+
+  // Formats "p1 p25 p50 p75 p99 max" as used by the paper's box plots.
+  std::string BoxStats() const;
+
+  // Returns the sorted samples (useful for printing full CDFs).
+  const std::vector<double>& Sorted() const;
+
+  void Clear();
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Prints a CDF as "value fraction" rows at the given number of evenly spaced
+// quantiles; matches the CDF figures in the paper.
+std::string FormatCdf(const Distribution& dist, int points);
+
+}  // namespace firmament
+
+#endif  // SRC_BASE_METRICS_H_

@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// All stochastic components (trace synthesis, block placement, baseline
+// scheduler sampling) draw from an explicitly seeded SplitMix64-based engine
+// so that every experiment is reproducible from its seed.
+
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/base/check.h"
+
+namespace firmament {
+
+// SplitMix64: tiny, fast, statistically solid for simulation purposes, and —
+// unlike std::mt19937 — guaranteed to produce identical streams on every
+// platform and standard library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + kGamma) {}
+
+  // Uniform over all 64-bit values.
+  uint64_t Next() {
+    uint64_t z = (state_ += kGamma);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound) {
+    CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (inter-arrival modelling).
+  double NextExponential(double mean) {
+    CHECK_GT(mean, 0.0);
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 1e-300;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Log-normal given the mean/sigma of the underlying normal.
+  double NextLogNormal(double mu, double sigma) {
+    return std::exp(mu + sigma * NextGaussian());
+  }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) {
+      u1 = 1e-300;
+    }
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+  }
+
+  // Bounded Pareto on [lo, hi] with shape alpha; used for heavy-tailed job
+  // sizes (a small fraction of jobs have thousands of tasks, as in the
+  // Google trace).
+  double NextBoundedPareto(double lo, double hi, double alpha) {
+    CHECK_GT(lo, 0.0);
+    CHECK_GT(hi, lo);
+    double u = NextDouble();
+    double la = std::pow(lo, alpha);
+    double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  // Forks an independent stream (for per-subsystem determinism).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static constexpr uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  static constexpr double kPi = 3.14159265358979323846;
+
+  uint64_t state_;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_BASE_RNG_H_

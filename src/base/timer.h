@@ -1,0 +1,36 @@
+// Wall-clock stopwatch.
+//
+// The simulator charges measured solver wall time to the simulated clock
+// (the paper's "Fauxmaster" methodology, §7.1): algorithm runtime is real,
+// everything else is simulated.
+
+#ifndef SRC_BASE_TIMER_H_
+#define SRC_BASE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace firmament {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart().
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count());
+  }
+
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedMicros()) / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_BASE_TIMER_H_

@@ -1,0 +1,111 @@
+#include "src/baselines/task_placers.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace firmament {
+
+namespace {
+
+bool HasFreeSlot(const MachineDescriptor& machine) {
+  return machine.alive && machine.FreeSlots() > 0;
+}
+
+std::vector<MachineId> FeasibleMachines(const ClusterState& cluster) {
+  std::vector<MachineId> feasible;
+  for (const MachineDescriptor& machine : cluster.machines()) {
+    if (HasFreeSlot(machine)) {
+      feasible.push_back(machine.id);
+    }
+  }
+  return feasible;
+}
+
+}  // namespace
+
+MachineId SparrowPlacer::Place(const ClusterState& cluster, const TaskDescriptor& task,
+                               Rng* rng) {
+  (void)task;
+  // Batch sampling with d random probes; fall back to any feasible machine
+  // if all probes land on full machines (a real Sparrow probe would queue
+  // worker-side; we model immediate re-probe).
+  std::vector<MachineId> feasible = FeasibleMachines(cluster);
+  if (feasible.empty()) {
+    return kInvalidMachineId;
+  }
+  MachineId best = kInvalidMachineId;
+  int32_t best_load = 0;
+  for (int p = 0; p < probes_; ++p) {
+    MachineId candidate = feasible[rng->NextUint64(feasible.size())];
+    int32_t load = cluster.machine(candidate).running_tasks;
+    if (best == kInvalidMachineId || load < best_load) {
+      best = candidate;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+MachineId SwarmKitPlacer::Place(const ClusterState& cluster, const TaskDescriptor& task,
+                                Rng* rng) {
+  (void)task;
+  MachineId best = kInvalidMachineId;
+  int32_t best_load = 0;
+  uint64_t ties = 0;
+  for (const MachineDescriptor& machine : cluster.machines()) {
+    if (!HasFreeSlot(machine)) {
+      continue;
+    }
+    if (best == kInvalidMachineId || machine.running_tasks < best_load) {
+      best = machine.id;
+      best_load = machine.running_tasks;
+      ties = 1;
+    } else if (machine.running_tasks == best_load) {
+      // Reservoir-sample among ties for unbiased spreading.
+      ++ties;
+      if (rng->NextUint64(ties) == 0) {
+        best = machine.id;
+      }
+    }
+  }
+  return best;
+}
+
+MachineId KubernetesPlacer::Place(const ClusterState& cluster, const TaskDescriptor& task,
+                                  Rng* rng) {
+  (void)task;
+  MachineId best = kInvalidMachineId;
+  double best_score = -1;
+  uint64_t ties = 0;
+  for (const MachineDescriptor& machine : cluster.machines()) {
+    if (!HasFreeSlot(machine)) {
+      continue;
+    }
+    // least-requested score: fraction of slots free after placement.
+    double score = static_cast<double>(machine.FreeSlots() - 1) /
+                   static_cast<double>(machine.spec.slots);
+    if (score > best_score) {
+      best = machine.id;
+      best_score = score;
+      ties = 1;
+    } else if (score == best_score) {
+      ++ties;
+      if (rng->NextUint64(ties) == 0) {
+        best = machine.id;
+      }
+    }
+  }
+  return best;
+}
+
+MachineId MesosPlacer::Place(const ClusterState& cluster, const TaskDescriptor& task, Rng* rng) {
+  (void)task;
+  // Offers arrive in effectively random order; take the first fit.
+  std::vector<MachineId> feasible = FeasibleMachines(cluster);
+  if (feasible.empty()) {
+    return kInvalidMachineId;
+  }
+  return feasible[rng->NextUint64(feasible.size())];
+}
+
+}  // namespace firmament

@@ -1,0 +1,83 @@
+// Queue-based task-by-task baseline schedulers (§2.1, §7.5).
+//
+// The §7.5 comparison pits Firmament's network-aware policy against four
+// widely-used schedulers. The paper's descriptions:
+//  * Sparrow [28]: distributed batch sampling — random probes with
+//    power-of-two-choices on queue length, no network awareness, decisions
+//    on partial/stale state;
+//  * Docker SwarmKit: simple load-spreading (least running tasks);
+//  * Kubernetes: feasibility filter + least-requested-resources scoring
+//    (slot-based here, like the rest of the evaluation);
+//  * Mesos [21]: resource offers — the framework takes the first fitting
+//    machine from a randomly ordered offer set.
+// All of them place one task at a time and none considers network
+// bandwidth, which is precisely why their response-time tails inflate under
+// network contention (Fig. 19b).
+
+#ifndef SRC_BASELINES_TASK_PLACERS_H_
+#define SRC_BASELINES_TASK_PLACERS_H_
+
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/core/cluster.h"
+#include "src/core/types.h"
+
+namespace firmament {
+
+class TaskPlacer {
+ public:
+  virtual ~TaskPlacer() = default;
+
+  TaskPlacer(const TaskPlacer&) = delete;
+  TaskPlacer& operator=(const TaskPlacer&) = delete;
+
+  virtual std::string name() const = 0;
+  // Picks a machine with a free slot for `task`, or kInvalidMachineId if the
+  // cluster is full. Called once per task (queue-based, Fig. 2a).
+  virtual MachineId Place(const ClusterState& cluster, const TaskDescriptor& task, Rng* rng) = 0;
+
+ protected:
+  TaskPlacer() = default;
+};
+
+// Sparrow-style batch sampling: probe `probes` random machines, pick the one
+// with the fewest running tasks (its queue-length estimate).
+class SparrowPlacer : public TaskPlacer {
+ public:
+  explicit SparrowPlacer(int probes = 2) : probes_(probes) {}
+  std::string name() const override { return "sparrow"; }
+  MachineId Place(const ClusterState& cluster, const TaskDescriptor& task, Rng* rng) override;
+
+ private:
+  int probes_;
+};
+
+// SwarmKit-style spreading: globally least-loaded machine by task count.
+class SwarmKitPlacer : public TaskPlacer {
+ public:
+  SwarmKitPlacer() = default;
+  std::string name() const override { return "swarmkit"; }
+  MachineId Place(const ClusterState& cluster, const TaskDescriptor& task, Rng* rng) override;
+};
+
+// Kubernetes-style: filter feasible machines, score by least-requested
+// (most free slot fraction), random among the best.
+class KubernetesPlacer : public TaskPlacer {
+ public:
+  KubernetesPlacer() = default;
+  std::string name() const override { return "kubernetes"; }
+  MachineId Place(const ClusterState& cluster, const TaskDescriptor& task, Rng* rng) override;
+};
+
+// Mesos-style offers: first fitting machine in a randomly ordered offer set.
+class MesosPlacer : public TaskPlacer {
+ public:
+  MesosPlacer() = default;
+  std::string name() const override { return "mesos"; }
+  MachineId Place(const ClusterState& cluster, const TaskDescriptor& task, Rng* rng) override;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_BASELINES_TASK_PLACERS_H_

@@ -1,0 +1,173 @@
+#include "src/core/cluster.h"
+
+#include <algorithm>
+
+namespace firmament {
+
+RackId ClusterState::AddRack() {
+  racks_.emplace_back();
+  return static_cast<RackId>(racks_.size() - 1);
+}
+
+MachineId ClusterState::AddMachine(RackId rack, const MachineSpec& spec) {
+  CHECK_LT(rack, racks_.size());
+  MachineId id = static_cast<MachineId>(machines_.size());
+  MachineDescriptor machine;
+  machine.id = id;
+  machine.rack = rack;
+  machine.spec = spec;
+  machines_.push_back(machine);
+  racks_[rack].push_back(id);
+  ++num_alive_machines_;
+  return id;
+}
+
+void ClusterState::RemoveMachine(MachineId machine) {
+  CHECK_LT(machine, machines_.size());
+  CHECK(machines_[machine].alive);
+  machines_[machine].alive = false;
+  auto& rack = racks_[machines_[machine].rack];
+  rack.erase(std::remove(rack.begin(), rack.end(), machine), rack.end());
+  --num_alive_machines_;
+}
+
+JobId ClusterState::SubmitJob(JobType type, int32_t priority, SimTime now) {
+  JobId id = next_job_id_++;
+  JobDescriptor job;
+  job.id = id;
+  job.type = type;
+  job.priority = priority;
+  job.submit_time = now;
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+TaskId ClusterState::AddTaskToJob(JobId job_id, TaskDescriptor task) {
+  auto it = jobs_.find(job_id);
+  CHECK(it != jobs_.end());
+  TaskId id = next_task_id_++;
+  task.id = id;
+  task.job = job_id;
+  it->second.tasks.push_back(id);
+  tasks_.emplace(id, std::move(task));
+  return id;
+}
+
+const JobDescriptor& ClusterState::job(JobId id) const {
+  auto it = jobs_.find(id);
+  CHECK(it != jobs_.end());
+  return it->second;
+}
+
+const TaskDescriptor& ClusterState::task(TaskId id) const {
+  auto it = tasks_.find(id);
+  CHECK(it != tasks_.end());
+  return it->second;
+}
+
+TaskDescriptor& ClusterState::mutable_task(TaskId id) {
+  auto it = tasks_.find(id);
+  CHECK(it != tasks_.end());
+  return it->second;
+}
+
+void ClusterState::PlaceTask(TaskId task_id, MachineId machine, SimTime now) {
+  TaskDescriptor& task = mutable_task(task_id);
+  CHECK(task.state == TaskState::kWaiting);
+  CHECK(machines_[machine].alive);
+  task.state = TaskState::kRunning;
+  task.machine = machine;
+  task.placed_time = now;
+  task.total_wait += now - task.submit_time;
+  machines_[machine].running_tasks += 1;
+  machines_[machine].used_bandwidth_mbps += task.bandwidth_request_mbps;
+}
+
+void ClusterState::EvictTask(TaskId task_id, SimTime now) {
+  TaskDescriptor& task = mutable_task(task_id);
+  CHECK(task.state == TaskState::kRunning);
+  MachineDescriptor& machine = machines_[task.machine];
+  machine.running_tasks -= 1;
+  machine.used_bandwidth_mbps -= task.bandwidth_request_mbps;
+  task.state = TaskState::kWaiting;
+  task.machine = kInvalidMachineId;
+  // Eviction restarts the wait clock; accumulated wait is preserved in
+  // total_wait so the unscheduled cost keeps growing (§3.3).
+  task.submit_time = now;
+}
+
+void ClusterState::CompleteTask(TaskId task_id, SimTime now) {
+  TaskDescriptor& task = mutable_task(task_id);
+  CHECK(task.state == TaskState::kRunning);
+  MachineDescriptor& machine = machines_[task.machine];
+  machine.running_tasks -= 1;
+  machine.used_bandwidth_mbps -= task.bandwidth_request_mbps;
+  task.state = TaskState::kCompleted;
+  task.finish_time = now;
+}
+
+void ClusterState::ForgetTask(TaskId task_id) {
+  auto it = tasks_.find(task_id);
+  CHECK(it != tasks_.end());
+  CHECK(it->second.state == TaskState::kCompleted);
+  tasks_.erase(it);
+}
+
+std::vector<TaskId> ClusterState::LiveTasks() const {
+  std::vector<TaskId> live;
+  live.reserve(tasks_.size());
+  for (const auto& [id, task] : tasks_) {
+    if (task.state != TaskState::kCompleted) {
+      live.push_back(id);
+    }
+  }
+  std::sort(live.begin(), live.end());
+  return live;
+}
+
+std::vector<TaskId> ClusterState::RunningTasksOn(MachineId machine) const {
+  std::vector<TaskId> running;
+  for (const auto& [id, task] : tasks_) {
+    if (task.state == TaskState::kRunning && task.machine == machine) {
+      running.push_back(id);
+    }
+  }
+  std::sort(running.begin(), running.end());
+  return running;
+}
+
+void ClusterState::RefreshStatistics() {
+  for (MachineDescriptor& machine : machines_) {
+    machine.running_tasks = 0;
+    machine.used_bandwidth_mbps = 0;
+  }
+  for (const auto& [id, task] : tasks_) {
+    if (task.state == TaskState::kRunning) {
+      MachineDescriptor& machine = machines_[task.machine];
+      machine.running_tasks += 1;
+      machine.used_bandwidth_mbps += task.bandwidth_request_mbps;
+    }
+  }
+}
+
+int64_t ClusterState::TotalSlots() const {
+  int64_t total = 0;
+  for (const MachineDescriptor& machine : machines_) {
+    if (machine.alive) {
+      total += machine.spec.slots;
+    }
+  }
+  return total;
+}
+
+int64_t ClusterState::UsedSlots() const {
+  int64_t used = 0;
+  for (const MachineDescriptor& machine : machines_) {
+    if (machine.alive) {
+      used += machine.running_tasks;
+    }
+  }
+  return used;
+}
+
+}  // namespace firmament

@@ -1,0 +1,135 @@
+// Cluster topology and workload state: machines in racks, jobs of tasks,
+// and the load/bandwidth statistics that scheduling policies consume.
+//
+// This is the "cluster manager" state of Fig. 4: jobs and tasks, monitoring
+// data, and cluster topology feeding the scheduling policy. The statistics
+// refresh before each scheduling round corresponds to the first of the two
+// flow-network update passes described in §6.3.
+
+#ifndef SRC_CORE_CLUSTER_H_
+#define SRC_CORE_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/core/types.h"
+
+namespace firmament {
+
+struct MachineSpec {
+  int32_t slots = 8;               // schedulable task slots (slot-based, §7.1)
+  int64_t nic_bandwidth_mbps = 10'000;  // 10 Gbps as on the paper's testbed
+};
+
+struct MachineDescriptor {
+  MachineId id = kInvalidMachineId;
+  RackId rack = kInvalidRackId;
+  MachineSpec spec;
+  bool alive = true;
+  // Monitoring statistics (refreshed from task state each round).
+  int32_t running_tasks = 0;
+  int64_t used_bandwidth_mbps = 0;        // task reservations
+  int64_t background_bandwidth_mbps = 0;  // non-scheduled traffic (Fig. 19b)
+
+  int32_t FreeSlots() const { return spec.slots - running_tasks; }
+  int64_t SpareBandwidthMbps() const {
+    int64_t spare = spec.nic_bandwidth_mbps - used_bandwidth_mbps - background_bandwidth_mbps;
+    return spare > 0 ? spare : 0;
+  }
+};
+
+struct TaskDescriptor {
+  TaskId id = kInvalidTaskId;
+  JobId job = kInvalidJobId;
+  TaskState state = TaskState::kWaiting;
+  MachineId machine = kInvalidMachineId;  // valid while running
+
+  SimTime submit_time = 0;
+  SimTime placed_time = 0;
+  SimTime finish_time = 0;
+  SimTime total_wait = 0;  // accumulated waiting time (drives unscheduled cost)
+
+  // Simulated execution duration (batch tasks; service tasks use a sentinel
+  // far in the future).
+  SimTime runtime = 0;
+
+  // Workload attributes consumed by policies.
+  int64_t input_size_bytes = 0;
+  std::vector<uint64_t> input_blocks;     // block store ids (Quincy policy)
+  int64_t bandwidth_request_mbps = 0;     // network-aware policy
+};
+
+struct JobDescriptor {
+  JobId id = kInvalidJobId;
+  JobType type = JobType::kBatch;
+  int32_t priority = 0;  // larger = more important
+  SimTime submit_time = 0;
+  std::vector<TaskId> tasks;
+};
+
+// Mutable cluster + workload state. All scheduler components hold a pointer
+// to one instance; the simulator and examples drive its mutations.
+class ClusterState {
+ public:
+  ClusterState() = default;
+
+  // --- Topology ------------------------------------------------------------
+  RackId AddRack();
+  MachineId AddMachine(RackId rack, const MachineSpec& spec);
+  // Marks the machine dead; running tasks must be evicted by the caller
+  // (the scheduler does this, see FirmamentScheduler::RemoveMachine).
+  void RemoveMachine(MachineId machine);
+
+  size_t num_racks() const { return racks_.size(); }
+  size_t num_machines() const { return num_alive_machines_; }
+  const std::vector<MachineId>& MachinesInRack(RackId rack) const { return racks_[rack]; }
+  const MachineDescriptor& machine(MachineId id) const { return machines_[id]; }
+  MachineDescriptor& mutable_machine(MachineId id) { return machines_[id]; }
+  const std::vector<MachineDescriptor>& machines() const { return machines_; }
+  RackId RackOf(MachineId machine) const { return machines_[machine].rack; }
+
+  // --- Workload ------------------------------------------------------------
+  JobId SubmitJob(JobType type, int32_t priority, SimTime now);
+  TaskId AddTaskToJob(JobId job, TaskDescriptor task);
+  const JobDescriptor& job(JobId id) const;
+  const TaskDescriptor& task(TaskId id) const;
+  TaskDescriptor& mutable_task(TaskId id);
+  bool HasTask(TaskId id) const { return tasks_.count(id) != 0; }
+  size_t num_tasks() const { return tasks_.size(); }
+
+  // --- Task lifecycle ----------------------------------------------------
+  void PlaceTask(TaskId task, MachineId machine, SimTime now);
+  void EvictTask(TaskId task, SimTime now);
+  void CompleteTask(TaskId task, SimTime now);
+  // Erases a completed task's descriptor (jobs keep their id lists).
+  void ForgetTask(TaskId task);
+
+  // All tasks that currently exist and are not completed; the flow network
+  // reschedules all of them continuously (§3).
+  std::vector<TaskId> LiveTasks() const;
+  std::vector<TaskId> RunningTasksOn(MachineId machine) const;
+
+  // Recomputes per-machine statistics from task state (§6.3 first pass).
+  void RefreshStatistics();
+
+  // Total slots across alive machines; used for utilization accounting.
+  int64_t TotalSlots() const;
+  int64_t UsedSlots() const;
+
+ private:
+  std::vector<MachineDescriptor> machines_;
+  std::vector<std::vector<MachineId>> racks_;
+  std::unordered_map<JobId, JobDescriptor> jobs_;
+  std::unordered_map<TaskId, TaskDescriptor> tasks_;
+  size_t num_alive_machines_ = 0;
+  JobId next_job_id_ = 0;
+  TaskId next_task_id_ = 0;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_CLUSTER_H_

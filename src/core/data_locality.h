@@ -1,0 +1,32 @@
+// Data-locality oracle consumed by the Quincy policy (Fig. 6b).
+//
+// Abstracted so the policy can be driven either by the simulated HDFS-like
+// block store (src/sim/block_store.*) or by any other metadata source.
+
+#ifndef SRC_CORE_DATA_LOCALITY_H_
+#define SRC_CORE_DATA_LOCALITY_H_
+
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/types.h"
+
+namespace firmament {
+
+class DataLocalityInterface {
+ public:
+  virtual ~DataLocalityInterface() = default;
+
+  // Bytes of `task`'s input stored on `machine`.
+  virtual int64_t BytesOnMachine(const TaskDescriptor& task, MachineId machine) const = 0;
+  // Bytes of `task`'s input stored anywhere within `rack`.
+  virtual int64_t BytesInRack(const TaskDescriptor& task, RackId rack) const = 0;
+  // Machines holding at least one block of `task`'s input — the candidate
+  // targets for preference arcs.
+  virtual void CandidateMachines(const TaskDescriptor& task,
+                                 std::vector<MachineId>* out) const = 0;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_DATA_LOCALITY_H_

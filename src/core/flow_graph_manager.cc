@@ -1,0 +1,295 @@
+#include "src/core/flow_graph_manager.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace firmament {
+
+FlowGraphManager::FlowGraphManager(ClusterState* cluster, SchedulingPolicy* policy,
+                                   FlowGraphManagerOptions options)
+    : cluster_(cluster), policy_(policy), options_(options) {
+  network_.EnableChangeRecording(true);
+  sink_ = network_.AddNode(0, NodeKind::kSink);
+  policy_->Initialize(this);
+}
+
+NodeId FlowGraphManager::NodeForMachine(MachineId machine) const {
+  auto it = machine_to_node_.find(machine);
+  return it == machine_to_node_.end() ? kInvalidNodeId : it->second;
+}
+
+MachineId FlowGraphManager::MachineForNode(NodeId node) const {
+  auto it = node_to_machine_.find(node);
+  return it == node_to_machine_.end() ? kInvalidMachineId : it->second;
+}
+
+NodeId FlowGraphManager::NodeForTask(TaskId task) const {
+  auto it = task_info_.find(task);
+  return it == task_info_.end() ? kInvalidNodeId : it->second.node;
+}
+
+TaskId FlowGraphManager::TaskForNode(NodeId node) const {
+  auto it = node_to_task_.find(node);
+  return it == node_to_task_.end() ? kInvalidTaskId : it->second;
+}
+
+NodeId FlowGraphManager::GetOrCreateAggregator(const std::string& key) {
+  auto it = aggregators_.find(key);
+  if (it != aggregators_.end()) {
+    return it->second.node;
+  }
+  AggregatorInfo info;
+  info.node = network_.AddNode(0, NodeKind::kAggregator);
+  info.key = key;
+  node_to_aggregator_.emplace(info.node, key);
+  NodeId node = info.node;
+  aggregators_.emplace(key, std::move(info));
+  return node;
+}
+
+void FlowGraphManager::RemoveAggregator(const std::string& key) {
+  auto it = aggregators_.find(key);
+  CHECK(it != aggregators_.end());
+  NodeId node = it->second.node;
+  PurgeArcsTo(node);
+  node_to_aggregator_.erase(node);
+  aggregators_.erase(it);
+  network_.RemoveNode(node);
+}
+
+void FlowGraphManager::AddMachine(MachineId machine) {
+  CHECK(machine_to_node_.count(machine) == 0);
+  NodeId node = network_.AddNode(0, NodeKind::kMachine);
+  machine_to_node_.emplace(machine, node);
+  node_to_machine_.emplace(node, machine);
+  ArcId to_sink = network_.AddArc(node, sink_, cluster_->machine(machine).spec.slots, 0);
+  machine_sink_arc_.emplace(machine, to_sink);
+  policy_->OnMachineAdded(machine);
+}
+
+void FlowGraphManager::RemoveMachine(MachineId machine) {
+  auto it = machine_to_node_.find(machine);
+  CHECK(it != machine_to_node_.end());
+  NodeId node = it->second;
+  policy_->OnMachineRemoved(machine);
+  PurgeArcsTo(node);
+  network_.RemoveNode(node);
+  node_to_machine_.erase(node);
+  machine_to_node_.erase(it);
+  machine_sink_arc_.erase(machine);
+}
+
+void FlowGraphManager::PurgeArcsTo(NodeId node) {
+  // Incident arcs disappear with the node; drop the bookkeeping entries of
+  // tasks and aggregators pointing at it so their ids are never reused
+  // against recycled arc slots.
+  for (ArcRef ref : network_.Adjacency(node)) {
+    if (!FlowNetwork::RefIsReverse(ref)) {
+      continue;  // outgoing arc (e.g. machine -> sink); no holder to purge
+    }
+    NodeId src = network_.Src(FlowNetwork::RefArc(ref));
+    auto task_it = node_to_task_.find(src);
+    if (task_it != node_to_task_.end()) {
+      EraseArcsTo(&task_info_[task_it->second].arcs, node);
+      continue;
+    }
+    auto agg_it = node_to_aggregator_.find(src);
+    if (agg_it != node_to_aggregator_.end()) {
+      EraseArcsTo(&aggregators_[agg_it->second].arcs, node);
+    }
+  }
+}
+
+void FlowGraphManager::EraseArcsTo(ArcMap* arcs, NodeId dst) {
+  auto it = arcs->lower_bound(ArcKey{dst, std::numeric_limits<int32_t>::min()});
+  while (it != arcs->end() && it->first.first == dst) {
+    it = arcs->erase(it);
+  }
+}
+
+void FlowGraphManager::AddTask(TaskId task_id, SimTime now) {
+  CHECK(task_info_.count(task_id) == 0);
+  const TaskDescriptor& task = cluster_->task(task_id);
+  TaskInfo info;
+  info.node = network_.AddNode(1, NodeKind::kTask);
+  node_to_task_.emplace(info.node, task_id);
+
+  JobInfo& job = job_info_[task.job];
+  if (job.unscheduled_node == kInvalidNodeId) {
+    job.unscheduled_node = network_.AddNode(0, NodeKind::kUnscheduled);
+    job.to_sink = network_.AddArc(job.unscheduled_node, sink_, 0, 0);
+  }
+  job.live_tasks += 1;
+  network_.SetArcCapacity(job.to_sink, job.live_tasks);
+  info.unscheduled_arc =
+      network_.AddArc(info.node, job.unscheduled_node, 1, policy_->UnscheduledCost(task, now));
+  task_info_.emplace(task_id, std::move(info));
+  network_.SetNodeSupply(sink_, network_.Supply(sink_) - 1);
+}
+
+void FlowGraphManager::RemoveTask(TaskId task_id) {
+  auto it = task_info_.find(task_id);
+  CHECK(it != task_info_.end());
+  NodeId node = it->second.node;
+  if (options_.task_removal_drain) {
+    DrainTaskFlow(node);
+  }
+  JobId job_id = cluster_->task(task_id).job;
+  network_.RemoveNode(node);
+  node_to_task_.erase(node);
+  task_info_.erase(it);
+  network_.SetNodeSupply(sink_, network_.Supply(sink_) + 1);
+
+  JobInfo& job = job_info_[job_id];
+  job.live_tasks -= 1;
+  if (job.live_tasks == 0) {
+    network_.RemoveNode(job.unscheduled_node);
+    job_info_.erase(job_id);
+  } else {
+    network_.SetArcCapacity(job.to_sink, job.live_tasks);
+  }
+}
+
+void FlowGraphManager::DrainTaskFlow(NodeId task_node) {
+  // Walk the task's unit of flow to the sink, decrementing as we go, so the
+  // removal leaves no stranded excess at intermediate machine/aggregator
+  // nodes (§5.3.2). Without this, removal breaks feasibility and the
+  // incremental solver must repair it the hard way.
+  NodeId current = task_node;
+  while (current != sink_) {
+    ArcId next = kInvalidArcId;
+    for (ArcRef ref : network_.Adjacency(current)) {
+      if (FlowNetwork::RefIsReverse(ref)) {
+        continue;
+      }
+      ArcId arc = FlowNetwork::RefArc(ref);
+      if (network_.Flow(arc) > 0) {
+        next = arc;
+        break;
+      }
+    }
+    if (next == kInvalidArcId) {
+      return;  // task was not routed (no solver run since submission)
+    }
+    network_.SetFlow(next, network_.Flow(next) - 1);
+    current = network_.Dst(next);
+  }
+}
+
+void FlowGraphManager::DiffArcs(NodeId src, const std::vector<ArcSpec>& desired,
+                                ArcMap* current) {
+  ArcMap updated;
+  for (const ArcSpec& spec : desired) {
+    ArcKey key{spec.dst, spec.rank};
+    if (updated.count(key) != 0) {
+      continue;  // duplicate (destination, rank): first wins
+    }
+    auto it = current->find(key);
+    if (it != current->end()) {
+      ArcId arc = it->second;
+      network_.SetArcCost(arc, spec.cost);
+      network_.SetArcCapacity(arc, spec.capacity);
+      updated.emplace(key, arc);
+      current->erase(it);
+    } else {
+      updated.emplace(key, network_.AddArc(src, spec.dst, spec.capacity, spec.cost));
+    }
+  }
+  for (const auto& [key, arc] : *current) {
+    network_.RemoveArc(arc);
+  }
+  *current = std::move(updated);
+}
+
+size_t FlowGraphManager::ValidateIntegrity() const {
+  size_t verified = 0;
+  CHECK(network_.IsValidNode(sink_));
+  CHECK(network_.Kind(sink_) == NodeKind::kSink);
+  for (const auto& [machine, node] : machine_to_node_) {
+    CHECK(network_.IsValidNode(node));
+    CHECK(network_.Kind(node) == NodeKind::kMachine);
+    CHECK(node_to_machine_.at(node) == machine);
+    ArcId to_sink = machine_sink_arc_.at(machine);
+    CHECK(network_.IsValidArc(to_sink));
+    CHECK_EQ(network_.Src(to_sink), node);
+    CHECK_EQ(network_.Dst(to_sink), sink_);
+    ++verified;
+  }
+  int64_t task_nodes = 0;
+  for (const auto& [task, info] : task_info_) {
+    CHECK(network_.IsValidNode(info.node));
+    CHECK(network_.Kind(info.node) == NodeKind::kTask);
+    CHECK_EQ(network_.Supply(info.node), 1);
+    CHECK(node_to_task_.at(info.node) == task);
+    CHECK(network_.IsValidArc(info.unscheduled_arc));
+    CHECK_EQ(network_.Src(info.unscheduled_arc), info.node);
+    for (const auto& [key, arc] : info.arcs) {
+      CHECK(network_.IsValidArc(arc));
+      CHECK_EQ(network_.Src(arc), info.node);
+      CHECK_EQ(network_.Dst(arc), key.first);
+    }
+    ++task_nodes;
+    ++verified;
+  }
+  CHECK_EQ(network_.Supply(sink_), -task_nodes);
+  for (const auto& [key, info] : aggregators_) {
+    CHECK(network_.IsValidNode(info.node));
+    CHECK(node_to_aggregator_.at(info.node) == key);
+    for (const auto& [arc_key, arc] : info.arcs) {
+      CHECK(network_.IsValidArc(arc));
+      CHECK_EQ(network_.Src(arc), info.node);
+      CHECK_EQ(network_.Dst(arc), arc_key.first);
+    }
+    ++verified;
+  }
+  for (const auto& [job, info] : job_info_) {
+    CHECK(network_.IsValidNode(info.unscheduled_node));
+    CHECK(network_.Kind(info.unscheduled_node) == NodeKind::kUnscheduled);
+    CHECK(network_.IsValidArc(info.to_sink));
+    CHECK_EQ(network_.Capacity(info.to_sink), info.live_tasks);
+    ++verified;
+  }
+  return verified;
+}
+
+void FlowGraphManager::UpdateRound(SimTime now) {
+  // Pass 1 (§6.3): refresh the statistics policies read (machine load,
+  // bandwidth reservations).
+  cluster_->RefreshStatistics();
+  policy_->BeginRound(now);
+
+  // Pass 2: let the policy rewrite the graph.
+  for (auto& [machine, arc] : machine_sink_arc_) {
+    network_.SetArcCapacity(arc, cluster_->machine(machine).spec.slots);
+  }
+  // Deterministic iteration order keeps solver behaviour reproducible.
+  std::vector<TaskId> tasks;
+  tasks.reserve(task_info_.size());
+  for (const auto& [task_id, info] : task_info_) {
+    tasks.push_back(task_id);
+  }
+  std::sort(tasks.begin(), tasks.end());
+  for (TaskId task_id : tasks) {
+    TaskInfo& info = task_info_[task_id];
+    const TaskDescriptor& task = cluster_->task(task_id);
+    network_.SetArcCost(info.unscheduled_arc, policy_->UnscheduledCost(task, now));
+    scratch_specs_.clear();
+    policy_->TaskArcs(task, now, &scratch_specs_);
+    DiffArcs(info.node, scratch_specs_, &info.arcs);
+  }
+  std::vector<std::string> agg_keys;
+  agg_keys.reserve(aggregators_.size());
+  for (const auto& [key, info] : aggregators_) {
+    agg_keys.push_back(key);
+  }
+  std::sort(agg_keys.begin(), agg_keys.end());
+  for (const std::string& key : agg_keys) {
+    AggregatorInfo& info = aggregators_[key];
+    scratch_specs_.clear();
+    policy_->AggregatorArcs(info.node, &scratch_specs_);
+    DiffArcs(info.node, scratch_specs_, &info.arcs);
+  }
+}
+
+}  // namespace firmament

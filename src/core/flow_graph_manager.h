@@ -1,0 +1,136 @@
+// Maintains the flow network that mirrors cluster and workload state (§3.2,
+// §6.3).
+//
+// All cluster events reduce to incremental graph changes (§5.2): task
+// submissions add source nodes, completions remove them, machine failures
+// remove machine nodes, and policy cost updates mutate arcs. The manager
+// performs minimal diffs so the change log stays small and incremental
+// solvers can warm-start.
+//
+// The per-round update follows §6.3: statistics are refreshed first
+// (ClusterState::RefreshStatistics — the pass that propagates machine load
+// and bandwidth), then a second pass lets the policy rewrite task and
+// aggregator arcs from those statistics.
+
+#ifndef SRC_CORE_FLOW_GRAPH_MANAGER_H_
+#define SRC_CORE_FLOW_GRAPH_MANAGER_H_
+
+#include <limits>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/scheduling_policy.h"
+#include "src/core/types.h"
+#include "src/flow/graph.h"
+
+namespace firmament {
+
+struct FlowGraphManagerOptions {
+  // §5.3.2 efficient task removal: on task completion, walk the task's unit
+  // of flow to the sink and drain it so feasibility is preserved and
+  // incremental cost scaling repairs less (Fig. 12b ablates this).
+  bool task_removal_drain = true;
+};
+
+class FlowGraphManager {
+ public:
+  FlowGraphManager(ClusterState* cluster, SchedulingPolicy* policy,
+                   FlowGraphManagerOptions options = {});
+
+  FlowGraphManager(const FlowGraphManager&) = delete;
+  FlowGraphManager& operator=(const FlowGraphManager&) = delete;
+
+  // --- Cluster lifecycle events -------------------------------------------
+  void AddMachine(MachineId machine);
+  void RemoveMachine(MachineId machine);
+  void AddTask(TaskId task, SimTime now);
+  void RemoveTask(TaskId task);
+
+  // --- Per-round update (§6.3) ----------------------------------------------
+  // Refreshes statistics, unscheduled costs, task arcs, aggregator arcs, and
+  // machine capacities. Must be called before every solver run.
+  void UpdateRound(SimTime now);
+
+  // --- Accessors -------------------------------------------------------------
+  FlowNetwork* network() { return &network_; }
+  const FlowNetwork& network() const { return network_; }
+  NodeId sink() const { return sink_; }
+  NodeId NodeForMachine(MachineId machine) const;
+  MachineId MachineForNode(NodeId node) const;
+  NodeId NodeForTask(TaskId task) const;
+  TaskId TaskForNode(NodeId node) const;
+  bool HasTask(TaskId task) const { return task_info_.count(task) != 0; }
+  size_t num_task_nodes() const { return task_info_.size(); }
+
+  // --- Services for policies ---------------------------------------------------
+  // Verifies internal consistency between the bookkeeping maps and the flow
+  // network: every mapped node exists with the right kind, every tracked arc
+  // is valid with the recorded endpoints, and the sink supply equals the
+  // negated task-node count. Aborts (CHECK) on violation; returns the number
+  // of entities verified. Intended for tests and debug builds.
+  size_t ValidateIntegrity() const;
+
+  // Returns a stable aggregator node for `key` ("cluster", "rack:3",
+  // "ra:400"), creating it on first use.
+  NodeId GetOrCreateAggregator(const std::string& key);
+  // Removes an aggregator and its arcs (e.g. rack drained of machines).
+  void RemoveAggregator(const std::string& key);
+  bool HasAggregator(const std::string& key) const { return aggregators_.count(key) != 0; }
+
+ private:
+  // Outgoing policy arcs keyed by (destination, parallel-arc rank).
+  using ArcKey = std::pair<NodeId, int32_t>;
+  using ArcMap = std::map<ArcKey, ArcId>;
+
+  struct TaskInfo {
+    NodeId node = kInvalidNodeId;
+    ArcId unscheduled_arc = kInvalidArcId;
+    ArcMap arcs;
+  };
+  struct JobInfo {
+    NodeId unscheduled_node = kInvalidNodeId;
+    ArcId to_sink = kInvalidArcId;
+    int64_t live_tasks = 0;
+  };
+  struct AggregatorInfo {
+    NodeId node = kInvalidNodeId;
+    std::string key;
+    ArcMap arcs;
+  };
+
+  // Replaces `current` arcs from `src` with `desired`, reusing arcs whose
+  // destination is unchanged (cost/capacity updates instead of re-adds).
+  void DiffArcs(NodeId src, const std::vector<ArcSpec>& desired, ArcMap* current);
+  // Walks one unit of the task's flow to the sink and drains it (§5.3.2).
+  void DrainTaskFlow(NodeId task_node);
+  // Purges references to a node that is about to be removed from the maps
+  // of tasks/aggregators that have arcs to it.
+  void PurgeArcsTo(NodeId node);
+  // Drops every (dst, rank) entry pointing at `dst` from an arc map.
+  static void EraseArcsTo(ArcMap* arcs, NodeId dst);
+
+  ClusterState* cluster_;
+  SchedulingPolicy* policy_;
+  FlowGraphManagerOptions options_;
+  FlowNetwork network_;
+  NodeId sink_ = kInvalidNodeId;
+
+  std::unordered_map<MachineId, NodeId> machine_to_node_;
+  std::unordered_map<NodeId, MachineId> node_to_machine_;
+  std::unordered_map<TaskId, TaskInfo> task_info_;
+  std::unordered_map<NodeId, TaskId> node_to_task_;
+  std::unordered_map<JobId, JobInfo> job_info_;
+  std::unordered_map<MachineId, ArcId> machine_sink_arc_;
+  std::unordered_map<std::string, AggregatorInfo> aggregators_;
+  std::unordered_map<NodeId, std::string> node_to_aggregator_;
+
+  std::vector<ArcSpec> scratch_specs_;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_FLOW_GRAPH_MANAGER_H_

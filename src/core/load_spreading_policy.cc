@@ -1,0 +1,52 @@
+#include "src/core/load_spreading_policy.h"
+
+#include "src/core/policy_util.h"
+
+namespace firmament {
+
+void LoadSpreadingPolicy::Initialize(FlowGraphManager* manager) {
+  manager_ = manager;
+  cluster_agg_ = manager_->GetOrCreateAggregator("cluster");
+}
+
+int64_t LoadSpreadingPolicy::UnscheduledCost(const TaskDescriptor& task, SimTime now) {
+  return params_.base_unscheduled_cost + params_.wait_cost_per_second * WaitSeconds(task, now);
+}
+
+void LoadSpreadingPolicy::TaskArcs(const TaskDescriptor& task, SimTime now,
+                                   std::vector<ArcSpec>* out) {
+  (void)now;
+  out->push_back({cluster_agg_, 1, 0, 0});
+  if (task.state == TaskState::kRunning) {
+    // Continuation on the current machine costs -1: strictly preferred over
+    // any equal-cost alternative, so ties never cause gratuitous migrations.
+    NodeId machine_node = manager_->NodeForMachine(task.machine);
+    if (machine_node != kInvalidNodeId) {
+      out->push_back({machine_node, 1, -1, 0});
+    }
+  }
+}
+
+void LoadSpreadingPolicy::AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) {
+  if (aggregator != cluster_agg_) {
+    return;
+  }
+  for (const MachineDescriptor& machine : cluster_->machines()) {
+    if (!machine.alive) {
+      continue;
+    }
+    NodeId node = manager_->NodeForMachine(machine.id);
+    if (node == kInvalidNodeId) {
+      continue;
+    }
+    // Unit-capacity parallel arcs with increasing cost: the i-th free slot
+    // costs as much as hosting (running + i) tasks, so flow fills the least
+    // loaded machines first.
+    for (int32_t i = 0; i < machine.FreeSlots(); ++i) {
+      out->push_back(
+          {node, 1, params_.cost_per_running_task * (machine.running_tasks + i), i});
+    }
+  }
+}
+
+}  // namespace firmament

@@ -1,0 +1,45 @@
+// Load-spreading policy (§3.3, Fig. 6a): a single cluster-wide aggregator X
+// with per-machine costs proportional to the number of tasks already
+// running there, as in Docker SwarmKit.
+//
+// The number of tasks on a machine only increases once all other machines
+// have at least as many. Modelled exactly with unit-capacity parallel arcs
+// of increasing cost (convex cost decomposition). The paper uses this policy
+// to expose relaxation's contention edge case (§4.3, Fig. 9): every
+// under-populated machine is a popular destination.
+
+#ifndef SRC_CORE_LOAD_SPREADING_POLICY_H_
+#define SRC_CORE_LOAD_SPREADING_POLICY_H_
+
+#include "src/core/flow_graph_manager.h"
+#include "src/core/scheduling_policy.h"
+
+namespace firmament {
+
+struct LoadSpreadingParams {
+  int64_t cost_per_running_task = 100;  // marginal cost of the n-th task
+  int64_t base_unscheduled_cost = 5'000;
+  int64_t wait_cost_per_second = 500;  // omega: unscheduled cost growth
+};
+
+class LoadSpreadingPolicy : public SchedulingPolicy {
+ public:
+  LoadSpreadingPolicy(const ClusterState* cluster, LoadSpreadingParams params = {})
+      : cluster_(cluster), params_(params) {}
+
+  std::string name() const override { return "load_spreading"; }
+  void Initialize(FlowGraphManager* manager) override;
+  int64_t UnscheduledCost(const TaskDescriptor& task, SimTime now) override;
+  void TaskArcs(const TaskDescriptor& task, SimTime now, std::vector<ArcSpec>* out) override;
+  void AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) override;
+
+ private:
+  const ClusterState* cluster_;
+  LoadSpreadingParams params_;
+  FlowGraphManager* manager_ = nullptr;
+  NodeId cluster_agg_ = kInvalidNodeId;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_LOAD_SPREADING_POLICY_H_

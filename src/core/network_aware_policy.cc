@@ -1,0 +1,87 @@
+#include "src/core/network_aware_policy.h"
+
+#include <algorithm>
+
+#include "src/core/policy_util.h"
+
+namespace firmament {
+
+void NetworkAwarePolicy::Initialize(FlowGraphManager* manager) {
+  manager_ = manager;
+}
+
+int64_t NetworkAwarePolicy::BucketFor(int64_t request_mbps) const {
+  if (request_mbps <= 0) {
+    return 0;
+  }
+  // Round up so a bucket never understates its tasks' requests.
+  int64_t bucket = params_.request_bucket_mbps;
+  return (request_mbps + bucket - 1) / bucket * bucket;
+}
+
+void NetworkAwarePolicy::BeginRound(SimTime now) {
+  (void)now;
+  bucket_task_count_.clear();
+}
+
+int64_t NetworkAwarePolicy::UnscheduledCost(const TaskDescriptor& task, SimTime now) {
+  int64_t priority_factor = 1 + cluster_->job(task.job).priority;
+  return (params_.base_unscheduled_cost +
+          params_.wait_cost_per_second * WaitSeconds(task, now)) *
+         priority_factor;
+}
+
+void NetworkAwarePolicy::TaskArcs(const TaskDescriptor& task, SimTime now,
+                                  std::vector<ArcSpec>* out) {
+  (void)now;
+  int64_t bucket = BucketFor(task.bandwidth_request_mbps);
+  NodeId ra = manager_->GetOrCreateAggregator(RequestKey(bucket));
+  aggregator_bucket_[ra] = bucket;
+  bucket_task_count_[bucket] += 1;
+  out->push_back({ra, 1, 0, 0});
+  if (task.state == TaskState::kRunning) {
+    NodeId machine_node = manager_->NodeForMachine(task.machine);
+    if (machine_node != kInvalidNodeId) {
+      // Continuation costs -1 (strictly preferred over equal-cost moves);
+      // the task's reservation is already part of the machine's used
+      // bandwidth.
+      out->push_back({machine_node, 1, -1, 0});
+    }
+  }
+}
+
+void NetworkAwarePolicy::AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) {
+  auto bucket_it = aggregator_bucket_.find(aggregator);
+  if (bucket_it == aggregator_bucket_.end()) {
+    return;
+  }
+  int64_t request = bucket_it->second;
+  auto count_it = bucket_task_count_.find(request);
+  if (count_it == bucket_task_count_.end() || count_it->second == 0) {
+    return;  // no live tasks in this class: drop all arcs this round
+  }
+  for (const MachineDescriptor& machine : cluster_->machines()) {
+    if (!machine.alive || machine.FreeSlots() <= 0) {
+      continue;
+    }
+    int64_t spare = machine.SpareBandwidthMbps();
+    if (spare < request) {
+      continue;
+    }
+    NodeId node = manager_->NodeForMachine(machine.id);
+    if (node == kInvalidNodeId) {
+      continue;
+    }
+    // "One arc for each task that fits" (Fig. 6c): unit-capacity parallel
+    // arcs, the i-th priced as if the previous i-1 were already placed, so
+    // balanced utilization is strictly optimal.
+    int64_t fit = request > 0 ? spare / request : machine.FreeSlots();
+    fit = std::min<int64_t>(fit, machine.FreeSlots());
+    int64_t used = machine.used_bandwidth_mbps + machine.background_bandwidth_mbps;
+    for (int64_t i = 0; i < fit; ++i) {
+      out->push_back({node, 1, request + used + i * request, static_cast<int32_t>(i)});
+    }
+  }
+}
+
+}  // namespace firmament

@@ -1,0 +1,93 @@
+#include "src/core/placement_extractor.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace firmament {
+
+ExtractionResult ExtractPlacements(const FlowGraphManager& manager) {
+  const FlowNetwork& net = manager.network();
+  const NodeId sink = manager.sink();
+  ExtractionResult result;
+
+  // destinations[v]: machine ids (kInvalidMachineId = unscheduled) that v's
+  // outgoing flow ultimately reaches; filled once v is resolved.
+  std::vector<std::vector<MachineId>> destinations(net.NodeCapacity());
+  // Remaining outgoing flow for which v has not yet received destinations.
+  std::vector<int64_t> pending(net.NodeCapacity(), 0);
+  std::deque<NodeId> resolved;
+
+  for (NodeId node : net.ValidNodes()) {
+    if (node == sink) {
+      continue;
+    }
+    int64_t outflow = 0;
+    for (ArcRef ref : net.Adjacency(node)) {
+      if (FlowNetwork::RefIsReverse(ref)) {
+        continue;
+      }
+      ArcId arc = FlowNetwork::RefArc(ref);
+      int64_t flow = net.Flow(arc);
+      if (flow <= 0) {
+        continue;
+      }
+      outflow += flow;
+      if (net.Dst(arc) == sink) {
+        // Flow into the sink resolves immediately: a machine delivers its own
+        // identity, an unscheduled aggregator delivers "unplaced".
+        MachineId self = net.Kind(node) == NodeKind::kMachine ? manager.MachineForNode(node)
+                                                              : kInvalidMachineId;
+        destinations[node].insert(destinations[node].end(), static_cast<size_t>(flow), self);
+      }
+    }
+    pending[node] = outflow - static_cast<int64_t>(destinations[node].size());
+    if (outflow > 0 && pending[node] == 0) {
+      resolved.push_back(node);
+    }
+  }
+
+  // Propagate destinations backwards along incoming flow (Listing 1).
+  while (!resolved.empty()) {
+    NodeId node = resolved.front();
+    resolved.pop_front();
+    TaskId task = manager.TaskForNode(node);
+    if (task != kInvalidTaskId) {
+      CHECK(!destinations[node].empty());
+      result.placements[task] = destinations[node].back();
+      continue;
+    }
+    std::vector<MachineId>& dests = destinations[node];
+    size_t cursor = 0;
+    for (ArcRef ref : net.Adjacency(node)) {
+      if (!FlowNetwork::RefIsReverse(ref)) {
+        continue;  // outgoing
+      }
+      ArcId arc = FlowNetwork::RefArc(ref);
+      int64_t flow = net.Flow(arc);
+      if (flow <= 0) {
+        continue;
+      }
+      NodeId src = net.Src(arc);
+      // Move `flow` destinations to the incoming arc's source (Listing 1
+      // lines 12-15). For an optimal flow the lists always suffice; for
+      // approximate, infeasible pseudoflows (§5.1) nodes with unrouted
+      // excess simply deliver fewer destinations, leaving their upstream
+      // tasks unplaced.
+      int64_t available = static_cast<int64_t>(dests.size()) - static_cast<int64_t>(cursor);
+      int64_t moved = std::min(flow, available);
+      for (int64_t i = 0; i < moved; ++i) {
+        destinations[src].push_back(dests[cursor++]);
+      }
+      pending[src] -= moved;
+      if (pending[src] == 0) {
+        resolved.push_back(src);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace firmament

@@ -1,0 +1,31 @@
+// Task placement extraction from an optimal flow (§6.3, Listing 1).
+//
+// Starting from machine nodes, machine identities are propagated backwards
+// along incoming flow until they reach task nodes; flow through unscheduled
+// aggregators marks tasks as unplaced. Because Firmament allows arbitrary
+// aggregator chains, paths can be longer than in Quincy; the algorithm
+// resolves each node once its full outgoing flow has been accounted for, so
+// extraction is a single pass over the flow-carrying subgraph.
+
+#ifndef SRC_CORE_PLACEMENT_EXTRACTOR_H_
+#define SRC_CORE_PLACEMENT_EXTRACTOR_H_
+
+#include <unordered_map>
+
+#include "src/core/flow_graph_manager.h"
+#include "src/core/types.h"
+
+namespace firmament {
+
+struct ExtractionResult {
+  // Task -> machine; tasks routed through an unscheduled aggregator map to
+  // kInvalidMachineId.
+  std::unordered_map<TaskId, MachineId> placements;
+};
+
+// Extracts placements from the manager's (solved) flow network.
+ExtractionResult ExtractPlacements(const FlowGraphManager& manager);
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_PLACEMENT_EXTRACTOR_H_

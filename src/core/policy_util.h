@@ -1,0 +1,24 @@
+// Helpers shared by the scheduling policies.
+
+#ifndef SRC_CORE_POLICY_UTIL_H_
+#define SRC_CORE_POLICY_UTIL_H_
+
+#include "src/core/cluster.h"
+#include "src/core/types.h"
+
+namespace firmament {
+
+// Accumulated wait time in whole seconds, including the current waiting
+// stretch; drives the growth of unscheduled costs so starving tasks win
+// placements eventually (§3.3).
+inline int64_t WaitSeconds(const TaskDescriptor& task, SimTime now) {
+  SimTime wait = task.total_wait;
+  if (task.state == TaskState::kWaiting && now > task.submit_time) {
+    wait += now - task.submit_time;
+  }
+  return static_cast<int64_t>(wait / kMicrosPerSecond);
+}
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_POLICY_UTIL_H_

@@ -1,0 +1,180 @@
+#include "src/core/quincy_policy.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/core/policy_util.h"
+
+namespace firmament {
+
+namespace {
+
+constexpr int64_t kBytesPerGb = 1'000'000'000;
+
+int64_t CostForBytes(int64_t bytes, int64_t cost_per_gb) {
+  // Rounded up so that any remote byte costs at least one unit; keeps small
+  // inputs from looking free.
+  return (bytes * cost_per_gb + kBytesPerGb - 1) / kBytesPerGb;
+}
+
+}  // namespace
+
+QuincyPolicy::QuincyPolicy(const ClusterState* cluster, const DataLocalityInterface* locality,
+                           QuincyPolicyParams params)
+    : cluster_(cluster), locality_(locality), params_(params) {}
+
+void QuincyPolicy::Initialize(FlowGraphManager* manager) {
+  manager_ = manager;
+  cluster_agg_ = manager_->GetOrCreateAggregator("cluster");
+}
+
+void QuincyPolicy::OnMachineAdded(MachineId machine) {
+  // Rack aggregators must exist before the round's arc refresh so both the
+  // cluster aggregator and task preference arcs can target them.
+  manager_->GetOrCreateAggregator(RackKey(cluster_->RackOf(machine)));
+}
+
+int64_t QuincyPolicy::UnscheduledCost(const TaskDescriptor& task, SimTime now) {
+  int64_t priority_factor = 1 + cluster_->job(task.job).priority;
+  return (params_.base_unscheduled_cost +
+          params_.wait_cost_per_second * WaitSeconds(task, now)) *
+         priority_factor;
+}
+
+int64_t QuincyPolicy::MachineTransferCost(const TaskDescriptor& task, MachineId machine) const {
+  if (locality_ == nullptr || task.input_size_bytes == 0) {
+    return 0;
+  }
+  RackId rack = cluster_->RackOf(machine);
+  int64_t on_machine = locality_->BytesOnMachine(task, machine);
+  int64_t in_rack = locality_->BytesInRack(task, rack);
+  int64_t rack_remote = in_rack - on_machine;
+  int64_t cluster_remote = task.input_size_bytes - in_rack;
+  return CostForBytes(rack_remote, params_.cost_per_gb_in_rack) +
+         CostForBytes(cluster_remote, params_.cost_per_gb_cross_rack);
+}
+
+int64_t QuincyPolicy::RackTransferCost(const TaskDescriptor& task, RackId rack) const {
+  if (locality_ == nullptr || task.input_size_bytes == 0) {
+    return 0;
+  }
+  // Worst case within the rack: none of the rack-resident bytes are on the
+  // chosen machine.
+  int64_t in_rack = locality_->BytesInRack(task, rack);
+  int64_t cluster_remote = task.input_size_bytes - in_rack;
+  return CostForBytes(in_rack, params_.cost_per_gb_in_rack) +
+         CostForBytes(cluster_remote, params_.cost_per_gb_cross_rack);
+}
+
+int64_t QuincyPolicy::ClusterTransferCost(const TaskDescriptor& task) const {
+  // Worst case anywhere: the whole input crosses racks.
+  return CostForBytes(task.input_size_bytes, params_.cost_per_gb_cross_rack);
+}
+
+void QuincyPolicy::TaskArcs(const TaskDescriptor& task, SimTime now, std::vector<ArcSpec>* out) {
+  (void)now;
+  // Fallback via the cluster aggregator at worst-case cost.
+  out->push_back({cluster_agg_, 1, ClusterTransferCost(task), 0});
+
+  if (task.state == TaskState::kRunning) {
+    // Continuation arc: input already fetched, so running on is free — and
+    // strictly preferred (-1) over equally-priced alternatives so that ties
+    // never cause gratuitous migrations. Flow routed elsewhere implies
+    // preemption or migration worth paying for.
+    NodeId machine_node = manager_->NodeForMachine(task.machine);
+    if (machine_node != kInvalidNodeId) {
+      out->push_back({machine_node, 1, -1, 0});
+    }
+  }
+
+  if (locality_ == nullptr || task.input_size_bytes == 0) {
+    return;
+  }
+
+  // Machine preference arcs: machines holding >= threshold of the input.
+  std::vector<MachineId> candidates;
+  locality_->CandidateMachines(task, &candidates);
+  std::vector<ArcSpec> machine_arcs;
+  std::vector<std::pair<int64_t, RackId>> rack_costs;  // deduped below
+  std::vector<RackId> candidate_racks;
+  for (MachineId machine : candidates) {
+    if (!cluster_->machine(machine).alive) {
+      continue;
+    }
+    double fraction = static_cast<double>(locality_->BytesOnMachine(task, machine)) /
+                      static_cast<double>(task.input_size_bytes);
+    if (fraction >= params_.machine_preference_threshold) {
+      NodeId node = manager_->NodeForMachine(machine);
+      if (node != kInvalidNodeId) {
+        machine_arcs.push_back({node, 1, MachineTransferCost(task, machine), 0});
+      }
+    }
+    RackId rack = cluster_->RackOf(machine);
+    if (std::find(candidate_racks.begin(), candidate_racks.end(), rack) ==
+        candidate_racks.end()) {
+      candidate_racks.push_back(rack);
+    }
+  }
+  std::sort(machine_arcs.begin(), machine_arcs.end(),
+            [](const ArcSpec& a, const ArcSpec& b) { return a.cost < b.cost; });
+  if (machine_arcs.size() > static_cast<size_t>(params_.max_machine_preference_arcs)) {
+    machine_arcs.resize(static_cast<size_t>(params_.max_machine_preference_arcs));
+  }
+  out->insert(out->end(), machine_arcs.begin(), machine_arcs.end());
+
+  // Rack preference arcs: racks holding >= threshold of the input.
+  for (RackId rack : candidate_racks) {
+    double fraction = static_cast<double>(locality_->BytesInRack(task, rack)) /
+                      static_cast<double>(task.input_size_bytes);
+    if (fraction >= params_.rack_preference_threshold) {
+      rack_costs.push_back({RackTransferCost(task, rack), rack});
+    }
+  }
+  std::sort(rack_costs.begin(), rack_costs.end());
+  if (rack_costs.size() > static_cast<size_t>(params_.max_rack_preference_arcs)) {
+    rack_costs.resize(static_cast<size_t>(params_.max_rack_preference_arcs));
+  }
+  for (const auto& [cost, rack] : rack_costs) {
+    if (manager_->HasAggregator(RackKey(rack))) {
+      out->push_back({manager_->GetOrCreateAggregator(RackKey(rack)), 1, cost, 0});
+    }
+  }
+}
+
+void QuincyPolicy::AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) {
+  if (aggregator == cluster_agg_) {
+    // X fans out to every non-empty rack; costs are on task arcs (Quincy
+    // prices the worst case on the task -> X arc).
+    for (RackId rack = 0; rack < cluster_->num_racks(); ++rack) {
+      const std::vector<MachineId>& machines = cluster_->MachinesInRack(rack);
+      if (machines.empty()) {
+        continue;
+      }
+      int64_t slots = 0;
+      for (MachineId machine : machines) {
+        slots += cluster_->machine(machine).spec.slots;
+      }
+      out->push_back({manager_->GetOrCreateAggregator(RackKey(rack)), slots, 0, 0});
+    }
+    return;
+  }
+  // Rack aggregator: fan out to the rack's machines.
+  for (RackId rack = 0; rack < cluster_->num_racks(); ++rack) {
+    if (!manager_->HasAggregator(RackKey(rack)) ||
+        manager_->GetOrCreateAggregator(RackKey(rack)) != aggregator) {
+      continue;
+    }
+    for (MachineId machine : cluster_->MachinesInRack(rack)) {
+      if (!cluster_->machine(machine).alive) {
+        continue;
+      }
+      NodeId node = manager_->NodeForMachine(machine);
+      if (node != kInvalidNodeId) {
+        out->push_back({node, cluster_->machine(machine).spec.slots, 0, 0});
+      }
+    }
+    return;
+  }
+}
+
+}  // namespace firmament

@@ -1,0 +1,80 @@
+// Quincy's locality-oriented scheduling policy (§3.3, Fig. 6b; Quincy
+// [22, §4.2]).
+//
+// Topology: tasks get (i) preference arcs to machines/racks holding enough
+// of their input data, (ii) a fallback arc to the cluster aggregator X
+// priced at the worst-case transfer cost, and (iii) an arc to the job's
+// unscheduled aggregator whose cost grows with wait time. X fans out to rack
+// aggregators, racks to machines. Running tasks keep a free continuation arc
+// to their machine, making preemption an explicit cost trade-off between
+// wasted work and better placements.
+//
+// The preference threshold (fraction of input data that must be local to
+// earn an arc) is the Fig. 15 knob: a lower threshold adds arcs, improves
+// achievable locality, and stresses the solver.
+
+#ifndef SRC_CORE_QUINCY_POLICY_H_
+#define SRC_CORE_QUINCY_POLICY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/data_locality.h"
+#include "src/core/flow_graph_manager.h"
+#include "src/core/scheduling_policy.h"
+
+namespace firmament {
+
+struct QuincyPolicyParams {
+  // Fraction of a task's input that must reside on a machine (in a rack) for
+  // the task to receive a preference arc (Fig. 15: 14% default, 2% extreme).
+  double machine_preference_threshold = 0.14;
+  double rack_preference_threshold = 0.14;
+  // Quincy capped preference arcs at ~10 per task.
+  int max_machine_preference_arcs = 10;
+  int max_rack_preference_arcs = 4;
+  // Transfer cost rates (cost units per GB fetched).
+  int64_t cost_per_gb_cross_rack = 100;
+  int64_t cost_per_gb_in_rack = 25;
+  // Unscheduled cost: base + omega * wait_seconds, scaled by job priority
+  // so service jobs outrank batch jobs (§4.2).
+  int64_t base_unscheduled_cost = 2'000;
+  int64_t wait_cost_per_second = 200;
+};
+
+class QuincyPolicy : public SchedulingPolicy {
+ public:
+  // `locality` may be null: tasks then schedule via the cluster aggregator
+  // only (no preference arcs).
+  QuincyPolicy(const ClusterState* cluster, const DataLocalityInterface* locality,
+               QuincyPolicyParams params = {});
+
+  std::string name() const override { return "quincy"; }
+  void Initialize(FlowGraphManager* manager) override;
+  void OnMachineAdded(MachineId machine) override;
+  int64_t UnscheduledCost(const TaskDescriptor& task, SimTime now) override;
+  void TaskArcs(const TaskDescriptor& task, SimTime now, std::vector<ArcSpec>* out) override;
+  void AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) override;
+
+  // Transfer cost of running `task` on `machine` given current locality
+  // (gamma in Quincy's cost model); exposed for tests and benches.
+  int64_t MachineTransferCost(const TaskDescriptor& task, MachineId machine) const;
+  // Worst-case transfer cost within `rack` (rho).
+  int64_t RackTransferCost(const TaskDescriptor& task, RackId rack) const;
+  // Worst-case transfer cost anywhere in the cluster (alpha).
+  int64_t ClusterTransferCost(const TaskDescriptor& task) const;
+
+ private:
+  static std::string RackKey(RackId rack) { return "rack:" + std::to_string(rack); }
+
+  const ClusterState* cluster_;
+  const DataLocalityInterface* locality_;
+  QuincyPolicyParams params_;
+  FlowGraphManager* manager_ = nullptr;
+  NodeId cluster_agg_ = kInvalidNodeId;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_QUINCY_POLICY_H_

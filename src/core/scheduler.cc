@@ -1,0 +1,126 @@
+#include "src/core/scheduler.h"
+
+#include "src/base/check.h"
+#include "src/base/timer.h"
+
+namespace firmament {
+
+FirmamentScheduler::FirmamentScheduler(ClusterState* cluster, SchedulingPolicy* policy,
+                                       FirmamentSchedulerOptions options)
+    : cluster_(cluster),
+      graph_manager_(cluster, policy, options.graph),
+      solver_(options.solver) {}
+
+MachineId FirmamentScheduler::AddMachine(RackId rack, const MachineSpec& spec) {
+  MachineId machine = cluster_->AddMachine(rack, spec);
+  graph_manager_.AddMachine(machine);
+  return machine;
+}
+
+void FirmamentScheduler::RemoveMachine(MachineId machine, SimTime now) {
+  for (TaskId task : cluster_->RunningTasksOn(machine)) {
+    cluster_->EvictTask(task, now);
+  }
+  graph_manager_.RemoveMachine(machine);
+  cluster_->RemoveMachine(machine);
+}
+
+JobId FirmamentScheduler::SubmitJob(JobType type, int32_t priority,
+                                    std::vector<TaskDescriptor> tasks, SimTime now) {
+  JobId job = cluster_->SubmitJob(type, priority, now);
+  for (TaskDescriptor& task : tasks) {
+    task.submit_time = now;
+    task.state = TaskState::kWaiting;
+    TaskId id = cluster_->AddTaskToJob(job, std::move(task));
+    graph_manager_.AddTask(id, now);
+  }
+  return job;
+}
+
+void FirmamentScheduler::CompleteTask(TaskId task, SimTime now) {
+  cluster_->CompleteTask(task, now);
+  graph_manager_.RemoveTask(task);
+  cluster_->ForgetTask(task);
+}
+
+SchedulerRoundResult FirmamentScheduler::RunSchedulingRound(SimTime now) {
+  StartRound(now);
+  return ApplyRound(now);
+}
+
+SolveStats FirmamentScheduler::StartRound(SimTime now) {
+  CHECK(!round_in_flight_);
+  // Fig. 2b: update the graph, then run the solver.
+  graph_manager_.UpdateRound(now);
+  pending_solve_ = solver_.Solve(graph_manager_.network());
+  CHECK(pending_solve_.outcome == SolveOutcome::kOptimal);
+  algorithm_runtime_.Add(static_cast<double>(pending_solve_.runtime_us) / 1e6);
+  round_in_flight_ = true;
+  return pending_solve_;
+}
+
+SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
+  CHECK(round_in_flight_);
+  round_in_flight_ = false;
+  WallTimer round_timer;
+  SchedulerRoundResult result;
+  result.solver_stats = pending_solve_;
+  result.algorithm_runtime_us = pending_solve_.runtime_us;
+
+  ExtractionResult extraction = ExtractPlacements(graph_manager_);
+
+  // Diff extracted placements against current task state.
+  for (const auto& [task_id, machine] : extraction.placements) {
+    if (!cluster_->HasTask(task_id)) {
+      continue;  // completed while the solver was running
+    }
+    const TaskDescriptor& task = cluster_->task(task_id);
+    if (machine == kInvalidMachineId) {
+      if (task.state == TaskState::kRunning) {
+        // The optimal flow routes this task through its unscheduled
+        // aggregator: preempt it.
+        SchedulingDelta delta;
+        delta.kind = SchedulingDelta::Kind::kPreempt;
+        delta.task = task_id;
+        delta.from = task.machine;
+        cluster_->EvictTask(task_id, now);
+        result.deltas.push_back(delta);
+        ++result.tasks_preempted;
+      } else {
+        ++result.tasks_unscheduled;
+      }
+      continue;
+    }
+    if (task.state == TaskState::kWaiting) {
+      SchedulingDelta delta;
+      delta.kind = SchedulingDelta::Kind::kPlace;
+      delta.task = task_id;
+      delta.to = machine;
+      cluster_->PlaceTask(task_id, machine, now);
+      placement_latency_.Add(static_cast<double>(now - task.submit_time) / 1e6);
+      result.deltas.push_back(delta);
+      ++result.tasks_placed;
+    } else if (task.state == TaskState::kRunning && task.machine != machine) {
+      SchedulingDelta delta;
+      delta.kind = SchedulingDelta::Kind::kMigrate;
+      delta.task = task_id;
+      delta.from = task.machine;
+      delta.to = machine;
+      cluster_->EvictTask(task_id, now);
+      cluster_->PlaceTask(task_id, machine, now);
+      result.deltas.push_back(delta);
+      ++result.tasks_migrated;
+    }
+    // Running on the same machine: no action.
+  }
+
+  result.total_runtime_us = round_timer.ElapsedMicros();
+  return result;
+}
+
+void FirmamentScheduler::ClearMetrics() {
+  placement_latency_.Clear();
+  algorithm_runtime_.Clear();
+}
+
+}  // namespace firmament

@@ -1,0 +1,102 @@
+// The Firmament scheduler (§3, Fig. 4): ties cluster state, the scheduling
+// policy, the flow graph manager, the racing MCMF solver, and placement
+// extraction into scheduling rounds.
+//
+// A round follows Fig. 2b: apply accumulated cluster changes to the graph,
+// run the solver, extract placements from the optimal flow, and turn the
+// diff against current state into place/preempt/migrate actions. Because
+// the whole workload is rescheduled continuously, preemption and migration
+// fall out of the optimization rather than being special-cased.
+
+#ifndef SRC_CORE_SCHEDULER_H_
+#define SRC_CORE_SCHEDULER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/core/cluster.h"
+#include "src/core/flow_graph_manager.h"
+#include "src/core/placement_extractor.h"
+#include "src/core/scheduling_policy.h"
+#include "src/core/types.h"
+#include "src/solvers/racing_solver.h"
+
+namespace firmament {
+
+// One task-level action decided by a scheduling round.
+struct SchedulingDelta {
+  enum class Kind : uint8_t { kPlace, kPreempt, kMigrate };
+  Kind kind = Kind::kPlace;
+  TaskId task = kInvalidTaskId;
+  MachineId from = kInvalidMachineId;  // kPreempt/kMigrate
+  MachineId to = kInvalidMachineId;    // kPlace/kMigrate
+};
+
+struct SchedulerRoundResult {
+  std::vector<SchedulingDelta> deltas;
+  SolveStats solver_stats;
+  uint64_t algorithm_runtime_us = 0;  // solver wall time (Fig. 2b)
+  uint64_t total_runtime_us = 0;      // incl. graph update + extraction
+  size_t tasks_placed = 0;
+  size_t tasks_preempted = 0;
+  size_t tasks_migrated = 0;
+  size_t tasks_unscheduled = 0;
+};
+
+struct FirmamentSchedulerOptions {
+  RacingSolverOptions solver;
+  FlowGraphManagerOptions graph;
+};
+
+class FirmamentScheduler {
+ public:
+  FirmamentScheduler(ClusterState* cluster, SchedulingPolicy* policy,
+                     FirmamentSchedulerOptions options = {});
+
+  FirmamentScheduler(const FirmamentScheduler&) = delete;
+  FirmamentScheduler& operator=(const FirmamentScheduler&) = delete;
+
+  // --- Cluster events (mirrored into the flow graph) ------------------------
+  MachineId AddMachine(RackId rack, const MachineSpec& spec);
+  // Evicts running tasks (back to waiting) and removes the machine.
+  void RemoveMachine(MachineId machine, SimTime now);
+  // Submits a job; tasks become schedulable in the next round.
+  JobId SubmitJob(JobType type, int32_t priority, std::vector<TaskDescriptor> tasks, SimTime now);
+  // Marks a running task completed and removes it from the graph.
+  void CompleteTask(TaskId task, SimTime now);
+
+  // --- Scheduling ---------------------------------------------------------------
+  SchedulerRoundResult RunSchedulingRound(SimTime now);
+
+  // Phase-split round for simulators (Fig. 2b): StartRound updates the graph
+  // and runs the solver against the state at `now`; ApplyRound extracts the
+  // placements and applies them at `apply_time` (= now + measured solver
+  // runtime in the simulator). Cluster events may be applied in between;
+  // deltas affecting since-completed tasks are dropped.
+  SolveStats StartRound(SimTime now);
+  SchedulerRoundResult ApplyRound(SimTime apply_time);
+
+  // --- Introspection ---------------------------------------------------------------
+  ClusterState& cluster() { return *cluster_; }
+  FlowGraphManager& graph_manager() { return graph_manager_; }
+  RacingSolver& solver() { return solver_; }
+  // Placement latency samples in seconds (submission -> placement, Fig. 14).
+  const Distribution& placement_latency() const { return placement_latency_; }
+  // Solver algorithm runtime samples in seconds (Fig. 3 / Fig. 7 metric).
+  const Distribution& algorithm_runtime() const { return algorithm_runtime_; }
+  void ClearMetrics();
+
+ private:
+  ClusterState* cluster_;
+  FlowGraphManager graph_manager_;
+  RacingSolver solver_;
+  Distribution placement_latency_;
+  Distribution algorithm_runtime_;
+  SolveStats pending_solve_;
+  bool round_in_flight_ = false;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_SCHEDULER_H_

@@ -1,0 +1,78 @@
+// Scheduling policy (cost model) API (§3.3).
+//
+// A policy shapes the flow network: which aggregator nodes exist, which arcs
+// tasks and aggregators get, and what the costs/capacities are. Firmament
+// generalizes Quincy's single policy to arbitrary aggregator structures; the
+// three policies used in the paper (load-spreading, Quincy, network-aware)
+// are implemented against this interface.
+
+#ifndef SRC_CORE_SCHEDULING_POLICY_H_
+#define SRC_CORE_SCHEDULING_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/types.h"
+#include "src/flow/graph.h"
+
+namespace firmament {
+
+class FlowGraphManager;
+
+// Desired outgoing arc of a task or aggregator node. `rank` distinguishes
+// parallel arcs to the same destination: a policy models convex per-unit
+// costs (e.g. load-spreading, where each extra task on a machine costs
+// more) as unit-capacity parallel arcs with increasing cost.
+struct ArcSpec {
+  NodeId dst = kInvalidNodeId;
+  int64_t capacity = 1;
+  int64_t cost = 0;
+  int32_t rank = 0;
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  SchedulingPolicy(const SchedulingPolicy&) = delete;
+  SchedulingPolicy& operator=(const SchedulingPolicy&) = delete;
+
+  virtual std::string name() const = 0;
+
+  // Called once when the manager is constructed; the policy creates its
+  // static aggregator nodes here (e.g. the cluster aggregator X).
+  virtual void Initialize(FlowGraphManager* manager) = 0;
+
+  // Topology hooks; policies maintain rack/request aggregators here.
+  virtual void OnMachineAdded(MachineId machine) { (void)machine; }
+  virtual void OnMachineRemoved(MachineId machine) { (void)machine; }
+
+  // Called at the start of every scheduling round, before task and
+  // aggregator arcs are refreshed; policies snapshot round-level statistics
+  // here (§6.3 first traversal).
+  virtual void BeginRound(SimTime now) { (void)now; }
+
+  // Cost of leaving `task` unscheduled (or preempting it) this round: the
+  // cost on its arc to the job's unscheduled aggregator. Grows with wait
+  // time so starving tasks eventually win placements.
+  virtual int64_t UnscheduledCost(const TaskDescriptor& task, SimTime now) = 0;
+
+  // Desired arcs from the task node towards machines and/or aggregators
+  // (the unscheduled arc is managed by the FlowGraphManager). For running
+  // tasks this typically includes a cheap continuation arc to the current
+  // machine, which is what makes preemption a deliberate cost trade-off.
+  virtual void TaskArcs(const TaskDescriptor& task, SimTime now, std::vector<ArcSpec>* out) = 0;
+
+  // Desired outgoing arcs of an aggregator node, refreshed every round from
+  // current monitoring statistics (e.g. per-machine load or bandwidth).
+  virtual void AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) = 0;
+
+ protected:
+  SchedulingPolicy() = default;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_SCHEDULING_POLICY_H_

@@ -1,0 +1,43 @@
+// Shared identifier and lifecycle types for the scheduler core.
+//
+// Task lifecycle (Fig. 1): submitted -> waiting -> scheduling -> running ->
+// completed. Placement latency = submission to placement; response time =
+// submission to completion.
+
+#ifndef SRC_CORE_TYPES_H_
+#define SRC_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace firmament {
+
+using TaskId = uint64_t;
+using JobId = uint64_t;
+using MachineId = uint32_t;
+using RackId = uint32_t;
+using SimTime = uint64_t;  // microseconds since simulation start
+
+inline constexpr TaskId kInvalidTaskId = std::numeric_limits<TaskId>::max();
+inline constexpr JobId kInvalidJobId = std::numeric_limits<JobId>::max();
+inline constexpr MachineId kInvalidMachineId = std::numeric_limits<MachineId>::max();
+inline constexpr RackId kInvalidRackId = std::numeric_limits<RackId>::max();
+
+inline constexpr SimTime kMicrosPerSecond = 1'000'000;
+
+enum class TaskState : uint8_t {
+  kWaiting,    // submitted, not yet placed (or evicted and waiting again)
+  kRunning,    // placed on a machine
+  kCompleted,  // finished execution
+};
+
+// Job classification following Omega's priority-based scheme [32, §2.1]:
+// service jobs are long-running and get priority over batch jobs (§4.2).
+enum class JobType : uint8_t {
+  kBatch,
+  kService,
+};
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_TYPES_H_

@@ -1,0 +1,117 @@
+#include "src/flow/dimacs.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace firmament {
+
+std::string WriteDimacs(const FlowNetwork& network) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "p min %zu %zu\n", network.NumNodes(), network.NumArcs());
+  out += buf;
+  // Dense 1-based renumbering in valid-list order.
+  std::unordered_map<NodeId, uint32_t> renumber;
+  renumber.reserve(network.NumNodes());
+  uint32_t next = 1;
+  for (NodeId node : network.ValidNodes()) {
+    renumber[node] = next++;
+    if (network.Supply(node) != 0) {
+      std::snprintf(buf, sizeof(buf), "n %u %" PRId64 "\n", renumber[node], network.Supply(node));
+      out += buf;
+    }
+  }
+  for (ArcId arc = 0; arc < network.ArcCapacityBound(); ++arc) {
+    if (!network.IsValidArc(arc)) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "a %u %u 0 %" PRId64 " %" PRId64 "\n",
+                  renumber[network.Src(arc)], renumber[network.Dst(arc)], network.Capacity(arc),
+                  network.Cost(arc));
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<FlowNetwork> ReadDimacs(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  FlowNetwork network;
+  std::vector<NodeId> id_map;  // 1-based DIMACS id -> NodeId
+  bool have_problem = false;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') {
+      continue;
+    }
+    std::istringstream ls(line);
+    char type = 0;
+    ls >> type;
+    if (type == 'p') {
+      std::string kind;
+      size_t num_nodes = 0;
+      size_t num_arcs = 0;
+      ls >> kind >> num_nodes >> num_arcs;
+      if (!ls || kind != "min") {
+        Fail(error, "line " + std::to_string(line_no) + ": bad problem line");
+        return std::nullopt;
+      }
+      id_map.assign(num_nodes + 1, kInvalidNodeId);
+      for (size_t i = 1; i <= num_nodes; ++i) {
+        id_map[i] = network.AddNode(0);
+      }
+      have_problem = true;
+    } else if (type == 'n') {
+      uint64_t id = 0;
+      int64_t supply = 0;
+      ls >> id >> supply;
+      if (!ls || !have_problem || id == 0 || id >= id_map.size()) {
+        Fail(error, "line " + std::to_string(line_no) + ": bad node line");
+        return std::nullopt;
+      }
+      network.SetNodeSupply(id_map[id], supply);
+    } else if (type == 'a') {
+      uint64_t src = 0;
+      uint64_t dst = 0;
+      int64_t low = 0;
+      int64_t cap = 0;
+      int64_t cost = 0;
+      ls >> src >> dst >> low >> cap >> cost;
+      if (!ls || !have_problem || src == 0 || src >= id_map.size() || dst == 0 ||
+          dst >= id_map.size()) {
+        Fail(error, "line " + std::to_string(line_no) + ": bad arc line");
+        return std::nullopt;
+      }
+      if (low != 0) {
+        Fail(error, "line " + std::to_string(line_no) + ": non-zero lower bounds unsupported");
+        return std::nullopt;
+      }
+      network.AddArc(id_map[src], id_map[dst], cap, cost);
+    } else {
+      Fail(error, "line " + std::to_string(line_no) + ": unknown line type");
+      return std::nullopt;
+    }
+  }
+  if (!have_problem) {
+    Fail(error, "missing problem line");
+    return std::nullopt;
+  }
+  return network;
+}
+
+}  // namespace firmament

@@ -1,0 +1,34 @@
+// DIMACS min-cost flow format I/O.
+//
+// Quincy and Firmament both speak the DIMACS format to external solvers
+// (e.g. cs2). We support it for interoperability, for golden-file tests, and
+// so benchmark graphs can be dumped and inspected with standard tooling.
+//
+// Format:
+//   c <comment>
+//   p min <nodes> <arcs>
+//   n <node-id> <supply>          (1-based ids; omitted nodes have supply 0)
+//   a <src> <dst> <low> <cap> <cost>
+
+#ifndef SRC_FLOW_DIMACS_H_
+#define SRC_FLOW_DIMACS_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "src/flow/graph.h"
+
+namespace firmament {
+
+// Serializes the network. Node ids are remapped to a dense 1-based range.
+std::string WriteDimacs(const FlowNetwork& network);
+
+// Parses a DIMACS min-cost flow problem. Returns std::nullopt on malformed
+// input (and writes a diagnostic to `error` if non-null). Lower bounds must
+// be zero.
+std::optional<FlowNetwork> ReadDimacs(const std::string& text, std::string* error = nullptr);
+
+}  // namespace firmament
+
+#endif  // SRC_FLOW_DIMACS_H_

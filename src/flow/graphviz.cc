@@ -1,0 +1,78 @@
+#include "src/flow/graphviz.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace firmament {
+
+namespace {
+
+const char* ShapeFor(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kTask:
+      return "circle";
+    case NodeKind::kMachine:
+      return "box";
+    case NodeKind::kAggregator:
+      return "diamond";
+    case NodeKind::kUnscheduled:
+      return "trapezium";
+    case NodeKind::kSink:
+      return "doublecircle";
+    case NodeKind::kGeneric:
+      return "ellipse";
+  }
+  return "ellipse";
+}
+
+const char* PrefixFor(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kTask:
+      return "T";
+    case NodeKind::kMachine:
+      return "M";
+    case NodeKind::kAggregator:
+      return "A";
+    case NodeKind::kUnscheduled:
+      return "U";
+    case NodeKind::kSink:
+      return "S";
+    case NodeKind::kGeneric:
+      return "N";
+  }
+  return "N";
+}
+
+}  // namespace
+
+std::string WriteGraphviz(const FlowNetwork& network) {
+  std::string out = "digraph flow_network {\n  rankdir=LR;\n";
+  char buf[256];
+  for (NodeId node : network.ValidNodes()) {
+    NodeKind kind = network.Kind(node);
+    std::snprintf(buf, sizeof(buf), "  n%u [shape=%s, label=\"%s%u\"];\n", node, ShapeFor(kind),
+                  PrefixFor(kind), node);
+    out += buf;
+  }
+  for (ArcId arc = 0; arc < network.ArcCapacityBound(); ++arc) {
+    if (!network.IsValidArc(arc)) {
+      continue;
+    }
+    int64_t flow = network.Flow(arc);
+    if (flow > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  n%u -> n%u [label=\"%" PRId64 "/%" PRId64 " f=%" PRId64
+                    "\", color=red, penwidth=2];\n",
+                    network.Src(arc), network.Dst(arc), network.Cost(arc), network.Capacity(arc),
+                    flow);
+    } else {
+      std::snprintf(buf, sizeof(buf), "  n%u -> n%u [label=\"%" PRId64 "/%" PRId64 "\"];\n",
+                    network.Src(arc), network.Dst(arc), network.Cost(arc), network.Capacity(arc));
+    }
+    out += buf;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace firmament

@@ -1,0 +1,23 @@
+// Graphviz (DOT) export of flow networks for debugging and documentation.
+//
+// Node shapes follow the paper's figures: tasks are circles on the left,
+// machines boxes, aggregators diamonds, unscheduled aggregators trapezoids
+// and the sink a double circle. Arcs carrying flow are drawn red, like the
+// min-cost solution in Fig. 5.
+
+#ifndef SRC_FLOW_GRAPHVIZ_H_
+#define SRC_FLOW_GRAPHVIZ_H_
+
+#include <string>
+
+#include "src/flow/graph.h"
+
+namespace firmament {
+
+// Renders the network as a DOT digraph. Arc labels show "cost/capacity"
+// (and "flow" when non-zero).
+std::string WriteGraphviz(const FlowNetwork& network);
+
+}  // namespace firmament
+
+#endif  // SRC_FLOW_GRAPHVIZ_H_

@@ -1,0 +1,82 @@
+#include "src/sim/block_store.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace firmament {
+
+std::vector<uint64_t> BlockStore::AllocateInput(int64_t bytes) {
+  std::vector<uint64_t> ids;
+  const std::vector<MachineDescriptor>& machines = cluster_->machines();
+  CHECK(!machines.empty());
+  std::vector<MachineId> alive;
+  for (const MachineDescriptor& machine : machines) {
+    if (machine.alive) {
+      alive.push_back(machine.id);
+    }
+  }
+  CHECK(!alive.empty());
+  while (bytes > 0) {
+    Block block;
+    block.size = std::min(bytes, block_size_);
+    bytes -= block.size;
+    for (int r = 0; r < replication_ && r < static_cast<int>(alive.size()); ++r) {
+      MachineId machine;
+      do {
+        machine = alive[rng_.NextUint64(alive.size())];
+      } while (std::find(block.replicas.begin(), block.replicas.end(), machine) !=
+               block.replicas.end());
+      block.replicas.push_back(machine);
+    }
+    ids.push_back(blocks_.size());
+    blocks_.push_back(std::move(block));
+  }
+  return ids;
+}
+
+void BlockStore::OnMachineRemoved(MachineId machine) {
+  for (Block& block : blocks_) {
+    block.replicas.erase(std::remove(block.replicas.begin(), block.replicas.end(), machine),
+                         block.replicas.end());
+  }
+}
+
+int64_t BlockStore::BytesOnMachine(const TaskDescriptor& task, MachineId machine) const {
+  int64_t bytes = 0;
+  for (uint64_t id : task.input_blocks) {
+    const Block& block = blocks_[id];
+    if (std::find(block.replicas.begin(), block.replicas.end(), machine) !=
+        block.replicas.end()) {
+      bytes += block.size;
+    }
+  }
+  return bytes;
+}
+
+int64_t BlockStore::BytesInRack(const TaskDescriptor& task, RackId rack) const {
+  int64_t bytes = 0;
+  for (uint64_t id : task.input_blocks) {
+    const Block& block = blocks_[id];
+    for (MachineId machine : block.replicas) {
+      if (cluster_->RackOf(machine) == rack) {
+        bytes += block.size;
+        break;  // count each block once per rack
+      }
+    }
+  }
+  return bytes;
+}
+
+void BlockStore::CandidateMachines(const TaskDescriptor& task,
+                                   std::vector<MachineId>* out) const {
+  for (uint64_t id : task.input_blocks) {
+    for (MachineId machine : blocks_[id].replicas) {
+      out->push_back(machine);
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace firmament

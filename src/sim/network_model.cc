@@ -1,0 +1,96 @@
+#include "src/sim/network_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace firmament {
+
+namespace {
+
+// 1 Mbps = 125000 bytes/s = 0.125 bytes/us.
+constexpr double kBytesPerMicroPerMbps = 0.125;
+// Floor so transfers on a saturated link still make (glacial) progress.
+constexpr double kMinRateMbps = 1.0;
+
+}  // namespace
+
+NetworkFluidModel::NetworkFluidModel(size_t num_machines, int64_t nic_mbps) {
+  machines_.resize(num_machines);
+  for (Machine& machine : machines_) {
+    machine.nic_mbps = nic_mbps;
+  }
+}
+
+void NetworkFluidModel::SetBackground(MachineId machine, int64_t mbps) {
+  CHECK_LT(machine, machines_.size());
+  machines_[machine].background_mbps = mbps;
+}
+
+double NetworkFluidModel::BytesPerMicro(MachineId machine) const {
+  const Machine& m = machines_[machine];
+  if (m.active.empty()) {
+    return 0;
+  }
+  double available = static_cast<double>(m.nic_mbps - m.background_mbps);
+  double per_transfer = std::max(kMinRateMbps, available / static_cast<double>(m.active.size()));
+  return per_transfer * kBytesPerMicroPerMbps;
+}
+
+double NetworkFluidModel::RateOn(MachineId machine) const {
+  return BytesPerMicro(machine) / kBytesPerMicroPerMbps;
+}
+
+void NetworkFluidModel::Advance(MachineId machine, SimTime now) {
+  Machine& m = machines_[machine];
+  CHECK_GE(now, m.last_update);
+  double rate = BytesPerMicro(machine);
+  double elapsed = static_cast<double>(now - m.last_update);
+  for (uint64_t id : m.active) {
+    Transfer& transfer = transfers_[id];
+    transfer.remaining_bytes = std::max(0.0, transfer.remaining_bytes - rate * elapsed);
+  }
+  m.last_update = now;
+}
+
+uint64_t NetworkFluidModel::StartTransfer(MachineId machine, int64_t bytes, SimTime now) {
+  CHECK_LT(machine, machines_.size());
+  Advance(machine, now);
+  uint64_t id = next_id_++;
+  transfers_[id] = Transfer{machine, static_cast<double>(bytes)};
+  machines_[machine].active.push_back(id);
+  return id;
+}
+
+std::optional<std::pair<SimTime, uint64_t>> NetworkFluidModel::NextCompletion() const {
+  std::optional<std::pair<SimTime, uint64_t>> best;
+  for (const Machine& m : machines_) {
+    if (m.active.empty()) {
+      continue;
+    }
+    MachineId machine = static_cast<MachineId>(&m - machines_.data());
+    double rate = BytesPerMicro(machine);
+    for (uint64_t id : m.active) {
+      const Transfer& transfer = transfers_.at(id);
+      double micros = transfer.remaining_bytes / rate;
+      SimTime when = m.last_update + static_cast<SimTime>(std::ceil(micros));
+      if (!best.has_value() || when < best->first) {
+        best = {when, id};
+      }
+    }
+  }
+  return best;
+}
+
+void NetworkFluidModel::FinishTransfer(uint64_t transfer, SimTime now) {
+  auto it = transfers_.find(transfer);
+  CHECK(it != transfers_.end());
+  MachineId machine = it->second.machine;
+  Advance(machine, now);
+  Machine& m = machines_[machine];
+  m.active.erase(std::remove(m.active.begin(), m.active.end(), transfer), m.active.end());
+  transfers_.erase(it);
+}
+
+}  // namespace firmament

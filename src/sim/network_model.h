@@ -1,0 +1,71 @@
+// Fluid-flow network contention model (substrate for the §7.5 cluster
+// experiments, Figs. 19a/19b).
+//
+// The paper measures short batch analytics tasks reading 4-8 GB inputs from
+// HDFS over 10 Gbps links, with and without high-priority background traffic
+// (iperf batch jobs, nginx services). We model each machine's NIC as a
+// fluid link: active task transfers share the bandwidth left over by
+// higher-priority background traffic max-min (equally, since all transfers
+// are elastic); a task's response time is its transfer time plus its CPU
+// time. This reproduces the §7.5 mechanism — schedulers that overcommit
+// links inflate the task response-time tail.
+
+#ifndef SRC_SIM_NETWORK_MODEL_H_
+#define SRC_SIM_NETWORK_MODEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace firmament {
+
+class NetworkFluidModel {
+ public:
+  NetworkFluidModel(size_t num_machines, int64_t nic_mbps);
+
+  // High-priority background traffic on a machine's link (strictly preempts
+  // task transfers, as in the paper's priority network service classes).
+  void SetBackground(MachineId machine, int64_t mbps);
+  int64_t background(MachineId machine) const { return machines_[machine].background_mbps; }
+
+  // Starts a transfer of `bytes` on `machine` at time `now`.
+  uint64_t StartTransfer(MachineId machine, int64_t bytes, SimTime now);
+  // Earliest (time, transfer id) at which some active transfer finishes,
+  // given current rates. nullopt if nothing is active.
+  std::optional<std::pair<SimTime, uint64_t>> NextCompletion() const;
+  // Removes the transfer (must be called at its completion time).
+  void FinishTransfer(uint64_t transfer, SimTime now);
+
+  size_t active_transfers(MachineId machine) const {
+    return machines_[machine].active.size();
+  }
+  // Current per-transfer rate on a machine's link (mbps).
+  double RateOn(MachineId machine) const;
+
+ private:
+  struct Transfer {
+    MachineId machine = kInvalidMachineId;
+    double remaining_bytes = 0;
+  };
+  struct Machine {
+    int64_t nic_mbps = 0;
+    int64_t background_mbps = 0;
+    std::vector<uint64_t> active;
+    SimTime last_update = 0;
+  };
+
+  // Applies progress on `machine` since its last update.
+  void Advance(MachineId machine, SimTime now);
+  double BytesPerMicro(MachineId machine) const;
+
+  std::vector<Machine> machines_;
+  std::unordered_map<uint64_t, Transfer> transfers_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_SIM_NETWORK_MODEL_H_

@@ -1,0 +1,309 @@
+#include "src/solvers/cost_scaling.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/base/check.h"
+#include "src/base/timer.h"
+#include "src/solvers/solver_util.h"
+
+namespace firmament {
+
+namespace {
+
+// Smallest power of two strictly greater than n; used as the cost scale so
+// that scaled ε = 1 implies (1/scale < 1/n)-optimality, i.e. optimality.
+int64_t CostScaleFor(size_t num_nodes) {
+  int64_t scale = 2;
+  while (scale <= static_cast<int64_t>(num_nodes)) {
+    scale <<= 1;
+  }
+  return scale;
+}
+
+// Largest complementary-slackness violation of (flow, potential) in the
+// scaled cost domain: max over residual arcs of -c_pi. Zero means the flow
+// is optimal w.r.t. the potentials. Used to choose the starting ε of warm
+// starts and to skip ε phases that would do no work (the in-loop analogue of
+// Goldberg's price refine heuristic [17]).
+int64_t MaxViolation(const FlowNetwork& net, const std::vector<int64_t>& potential,
+                     int64_t scale) {
+  int64_t violation = 0;
+  for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
+    if (!net.IsValidArc(arc)) {
+      continue;
+    }
+    int64_t c_pi = net.Cost(arc) * scale - potential[net.Src(arc)] + potential[net.Dst(arc)];
+    if (net.Flow(arc) < net.Capacity(arc)) {
+      violation = std::max(violation, -c_pi);
+    }
+    if (net.Flow(arc) > 0) {
+      violation = std::max(violation, c_pi);
+    }
+  }
+  return violation;
+}
+
+}  // namespace
+
+void CostScaling::ImportPotentials(std::vector<int64_t> unscaled_potentials) {
+  pending_import_ = std::move(unscaled_potentials);
+  has_pending_import_ = true;
+}
+
+void CostScaling::ResetState() {
+  potential_.clear();
+  scale_ = 0;
+  has_pending_import_ = false;
+}
+
+SolveStats CostScaling::Solve(FlowNetwork* network, const std::atomic<bool>* cancel) {
+  WallTimer timer;
+  SolveStats stats;
+  stats.algorithm = name();
+  FlowNetwork& net = *network;
+  const NodeId node_cap = net.NodeCapacity();
+  const int64_t scale = CostScaleFor(net.NumNodes());
+  // Retained potentials (or an import from price refine) make a warm start
+  // meaningful; a first incremental call has nothing to warm-start from.
+  const bool have_warm_state = scale_ != 0 || has_pending_import_;
+
+  // Overflow guard: potentials rise by at most ~6·n·ε0 over the whole run.
+  int64_t max_cost = 0;
+  for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
+    if (net.IsValidArc(arc)) {
+      max_cost = std::max(max_cost, std::abs(net.Cost(arc)));
+    }
+  }
+  {
+    __int128 bound = static_cast<__int128>(max_cost) * scale * 8 * (net.NumNodes() + 2);
+    CHECK(bound < (static_cast<__int128>(1) << 62));
+  }
+
+  // --- Establish starting flow and potentials -----------------------------
+  if (has_pending_import_) {
+    // Relaxation -> cost scaling handoff (§6.2): potentials are unscaled.
+    potential_.assign(node_cap, 0);
+    for (NodeId i = 0; i < node_cap && i < pending_import_.size(); ++i) {
+      potential_[i] = pending_import_[i] * scale;
+    }
+    has_pending_import_ = false;
+  } else if (options_.incremental && scale_ != 0) {
+    potential_.resize(node_cap, 0);
+    if (scale_ != scale) {
+      // The scale follows the node count; rescale retained potentials. Any
+      // complementary-slackness error this introduces is covered by the
+      // measured starting ε below.
+      for (auto& p : potential_) {
+        p = static_cast<int64_t>(static_cast<__int128>(p) * scale / scale_);
+      }
+    }
+  } else {
+    potential_.assign(node_cap, 0);
+  }
+  scale_ = scale;
+  if (!options_.incremental) {
+    net.ClearFlow();
+  } else {
+    // Clamp flow on arcs whose capacity shrank below the previous solution.
+    for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
+      if (net.IsValidArc(arc) && net.Flow(arc) > net.Capacity(arc)) {
+        net.SetFlow(arc, net.Capacity(arc));
+      }
+    }
+  }
+
+  // --- Choose the starting ε -----------------------------------------------
+  const int64_t max_eps = std::max<int64_t>(1, max_cost * scale);
+  int64_t eps0;
+  if (options_.incremental && have_warm_state) {
+    // Warm start (§6.2): start from the measured violation — i.e. "ε equal
+    // to the costliest arc graph change" — rather than the costliest arc in
+    // the whole graph. If the refine below turns out to need a larger ε
+    // (contention around new arcs), it escalates instead of failing.
+    eps0 = std::max<int64_t>(1, MaxViolation(net, potential_, scale));
+  } else {
+    eps0 = max_eps;
+  }
+
+  // --- Scaling loop ----------------------------------------------------------
+  // Between phases, a bounded price refine tries to *prove* the current flow
+  // optimal (the in-loop heuristic of [17]); warm starts typically converge
+  // after a single refine, and the proof lets us skip every remaining phase.
+  int64_t eps = eps0;
+  bool descending = true;  // false while escalating after a stuck refine
+  for (;;) {
+    if (descending) {
+      eps = std::max<int64_t>(1, eps / std::max<int64_t>(2, options_.alpha));
+    }
+    RefineResult result = Refine(&net, eps, &stats, cancel);
+    if (result == RefineResult::kCancelled) {
+      stats.runtime_us = timer.ElapsedMicros();
+      return stats;
+    }
+    if (result == RefineResult::kNoPath ||
+        (result == RefineResult::kStuck && eps >= max_eps)) {
+      stats.outcome = SolveOutcome::kInfeasible;
+      stats.runtime_us = timer.ElapsedMicros();
+      return stats;
+    }
+    if (result == RefineResult::kStuck) {
+      // ε was too small for the contention around the changed region;
+      // escalate geometrically (the relabel bound only certifies
+      // infeasibility once ε covers the costliest arc).
+      eps = std::min(max_eps, eps * 16);
+      descending = false;
+      continue;
+    }
+    descending = true;
+    ++stats.phases;
+    if (options_.time_budget_us != 0 && timer.ElapsedMicros() > options_.time_budget_us &&
+        eps > 1) {
+      stats.outcome = SolveOutcome::kApproximate;
+      break;
+    }
+    if (eps == 1) {
+      break;
+    }
+    std::vector<int64_t> proven;
+    if (TryProveOptimal(net, &proven, /*relax_bound=*/4)) {
+      // Adopt the certifying potentials (scaled) as warm state and stop.
+      for (NodeId node = 0; node < node_cap; ++node) {
+        potential_[node] = node < proven.size() ? proven[node] * scale : 0;
+      }
+      break;
+    }
+  }
+
+  stats.total_cost = net.TotalCost();
+  stats.runtime_us = timer.ElapsedMicros();
+  return stats;
+}
+
+CostScaling::RefineResult CostScaling::Refine(FlowNetwork* network, int64_t eps,
+                                              SolveStats* stats,
+                                              const std::atomic<bool>* cancel) {
+  FlowNetwork& net = *network;
+  const NodeId node_cap = net.NodeCapacity();
+  const size_t num_nodes = net.NumNodes();
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    stats->outcome = SolveOutcome::kCancelled;
+    return RefineResult::kCancelled;
+  }
+
+  // Saturate every residual arc with negative reduced cost. Afterwards the
+  // pseudoflow satisfies c_pi >= 0 on all residual arcs, hence is ε-optimal
+  // for any ε; pushes and relabels below preserve ε-optimality.
+  for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
+    if (!net.IsValidArc(arc)) {
+      continue;
+    }
+    int64_t c_pi = net.Cost(arc) * scale_ - potential_[net.Src(arc)] + potential_[net.Dst(arc)];
+    if (c_pi < 0) {
+      net.SetFlow(arc, net.Capacity(arc));
+    } else if (c_pi > 0) {
+      net.SetFlow(arc, 0);
+    }
+  }
+
+  // Compute excesses.
+  excess_.assign(node_cap, 0);
+  for (NodeId node : net.ValidNodes()) {
+    excess_[node] = net.Supply(node);
+  }
+  for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
+    if (!net.IsValidArc(arc)) {
+      continue;
+    }
+    excess_[net.Src(arc)] -= net.Flow(arc);
+    excess_[net.Dst(arc)] += net.Flow(arc);
+  }
+
+  cur_arc_.assign(node_cap, 0);
+  relabel_count_.assign(node_cap, 0);
+  in_queue_.assign(node_cap, false);
+  std::deque<NodeId> active;
+  for (NodeId node : net.ValidNodes()) {
+    if (excess_[node] > 0) {
+      active.push_back(node);
+      in_queue_[node] = true;
+    }
+  }
+
+  // A feasible instance needs O(alpha * n) relabels of one node per refine;
+  // exceeding a generous multiple of that certifies infeasibility.
+  const uint32_t relabel_bound =
+      static_cast<uint32_t>((3 * static_cast<size_t>(std::max<int64_t>(2, options_.alpha)) + 6) *
+                                num_nodes +
+                            64);
+  uint64_t pushes_since_poll = 0;
+
+  while (!active.empty()) {
+    NodeId v = active.front();
+    active.pop_front();
+    in_queue_[v] = false;
+
+    while (excess_[v] > 0) {
+      const std::vector<ArcRef>& adjacency = net.Adjacency(v);
+      bool pushed_or_relabeled = false;
+      while (cur_arc_[v] < adjacency.size()) {
+        ArcRef ref = adjacency[cur_arc_[v]];
+        int64_t residual = net.RefResidual(ref);
+        if (residual > 0) {
+          NodeId w = net.RefDst(ref);
+          int64_t c_pi = net.RefCost(ref) * scale_ - potential_[v] + potential_[w];
+          if (c_pi < 0) {
+            int64_t delta = std::min(excess_[v], residual);
+            net.RefPush(ref, delta);
+            excess_[v] -= delta;
+            excess_[w] += delta;
+            ++stats->iterations;
+            if (excess_[w] > 0 && !in_queue_[w]) {
+              active.push_back(w);
+              in_queue_[w] = true;
+            }
+            if (++pushes_since_poll >= 4096) {
+              pushes_since_poll = 0;
+              if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+                stats->outcome = SolveOutcome::kCancelled;
+                return RefineResult::kCancelled;
+              }
+            }
+            pushed_or_relabeled = true;
+            if (excess_[v] == 0) {
+              break;
+            }
+            continue;  // same arc may admit more flow after other pushes
+          }
+        }
+        ++cur_arc_[v];
+      }
+      if (excess_[v] == 0) {
+        break;
+      }
+      if (cur_arc_[v] >= adjacency.size()) {
+        // Relabel: lower v's reduced costs enough to create an admissible arc.
+        int64_t best = std::numeric_limits<int64_t>::max();
+        for (ArcRef ref : adjacency) {
+          if (net.RefResidual(ref) > 0) {
+            best = std::min(best, net.RefCost(ref) * scale_ + potential_[net.RefDst(ref)]);
+          }
+        }
+        if (best == std::numeric_limits<int64_t>::max()) {
+          return RefineResult::kNoPath;  // positive excess, no residual out-arc
+        }
+        potential_[v] = best + eps;
+        cur_arc_[v] = 0;
+        ++stats->iterations;
+        if (++relabel_count_[v] > relabel_bound) {
+          return RefineResult::kStuck;  // eps too small, or infeasible
+        }
+        pushed_or_relabeled = true;
+      }
+      CHECK(pushed_or_relabeled);
+    }
+  }
+  return RefineResult::kOk;
+}
+
+}  // namespace firmament

@@ -1,0 +1,133 @@
+#include "src/solvers/cycle_canceling.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/timer.h"
+#include "src/solvers/solver_util.h"
+
+namespace firmament {
+
+namespace {
+
+// Computes a feasible flow ignoring costs: repeatedly BFS from all
+// positive-excess nodes through residual arcs to the nearest deficit node
+// and augment. Returns false if some supply cannot be routed.
+bool ComputeFeasibleFlow(FlowNetwork* network, uint64_t* augmentations) {
+  FlowNetwork& net = *network;
+  const NodeId cap = net.NodeCapacity();
+  std::vector<int64_t> excess(cap, 0);
+  int64_t total_positive = 0;
+  for (NodeId node : net.ValidNodes()) {
+    excess[node] = net.Supply(node);
+    if (excess[node] > 0) {
+      total_positive += excess[node];
+    }
+  }
+  std::vector<ArcRef> parent(cap, kInvalidArcId);
+  std::vector<uint32_t> seen(cap, 0);
+  uint32_t version = 0;
+  std::deque<NodeId> queue;
+  while (total_positive > 0) {
+    // Multi-source BFS from every node with positive excess.
+    ++version;
+    queue.clear();
+    for (NodeId node : net.ValidNodes()) {
+      if (excess[node] > 0) {
+        seen[node] = version;
+        parent[node] = kInvalidArcId;
+        queue.push_back(node);
+      }
+    }
+    NodeId deficit_node = kInvalidNodeId;
+    while (!queue.empty() && deficit_node == kInvalidNodeId) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (ArcRef ref : net.Adjacency(u)) {
+        if (net.RefResidual(ref) <= 0) {
+          continue;
+        }
+        NodeId v = net.RefDst(ref);
+        if (seen[v] == version) {
+          continue;
+        }
+        seen[v] = version;
+        parent[v] = ref;
+        if (excess[v] < 0) {
+          deficit_node = v;
+          break;
+        }
+        queue.push_back(v);
+      }
+    }
+    if (deficit_node == kInvalidNodeId) {
+      return false;
+    }
+    // Walk back to the BFS root, find the bottleneck, and augment.
+    int64_t delta = -excess[deficit_node];
+    NodeId root = deficit_node;
+    for (NodeId v = deficit_node; parent[v] != kInvalidArcId;) {
+      ArcRef ref = parent[v];
+      delta = std::min(delta, net.RefResidual(ref));
+      v = net.RefSrc(ref);
+      root = v;
+    }
+    delta = std::min(delta, excess[root]);
+    CHECK_GT(delta, 0);
+    for (NodeId v = deficit_node; parent[v] != kInvalidArcId;) {
+      ArcRef ref = parent[v];
+      net.RefPush(ref, delta);
+      v = net.RefSrc(ref);
+    }
+    excess[root] -= delta;
+    excess[deficit_node] += delta;
+    total_positive -= delta;
+    ++*augmentations;
+  }
+  return true;
+}
+
+}  // namespace
+
+SolveStats CycleCanceling::Solve(FlowNetwork* network, const std::atomic<bool>* cancel) {
+  WallTimer timer;
+  SolveStats stats;
+  stats.algorithm = name();
+  FlowNetwork& net = *network;
+  net.ClearFlow();
+
+  if (!ComputeFeasibleFlow(network, &stats.iterations)) {
+    stats.outcome = SolveOutcome::kInfeasible;
+    return stats;
+  }
+
+  // Cancel negative cycles until the negative cycle optimality condition
+  // holds (§4, condition 1).
+  for (;;) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      stats.outcome = SolveOutcome::kCancelled;
+      return stats;
+    }
+    std::vector<ArcRef> cycle = FindNegativeCycle(net);
+    if (cycle.empty()) {
+      break;
+    }
+    int64_t delta = std::numeric_limits<int64_t>::max();
+    for (ArcRef ref : cycle) {
+      delta = std::min(delta, net.RefResidual(ref));
+    }
+    CHECK_GT(delta, 0);
+    for (ArcRef ref : cycle) {
+      net.RefPush(ref, delta);
+    }
+    ++stats.iterations;
+  }
+
+  stats.total_cost = net.TotalCost();
+  stats.runtime_us = timer.ElapsedMicros();
+  return stats;
+}
+
+}  // namespace firmament

@@ -1,0 +1,26 @@
+// Cycle canceling MCMF algorithm (§4, [25]).
+//
+// The simplest of the four algorithms: first computes any feasible
+// (max-)flow, then repeatedly augments along negative-cost directed cycles
+// in the residual network until none remain (negative cycle optimality).
+// Always maintains feasibility and works towards optimality. Included for
+// completeness and for the Fig. 7 comparison, where it performs worst.
+
+#ifndef SRC_SOLVERS_CYCLE_CANCELING_H_
+#define SRC_SOLVERS_CYCLE_CANCELING_H_
+
+#include "src/solvers/mcmf_solver.h"
+
+namespace firmament {
+
+class CycleCanceling : public McmfSolver {
+ public:
+  CycleCanceling() = default;
+
+  SolveStats Solve(FlowNetwork* network, const std::atomic<bool>* cancel = nullptr) override;
+  std::string name() const override { return "cycle_canceling"; }
+};
+
+}  // namespace firmament
+
+#endif  // SRC_SOLVERS_CYCLE_CANCELING_H_

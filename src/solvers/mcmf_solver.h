@@ -1,0 +1,61 @@
+// Common interface for min-cost max-flow algorithms (§4).
+//
+// A solver takes a FlowNetwork carrying supplies and (for incremental
+// solvers) the previous flow assignment, and computes a feasible min-cost
+// flow in place. Solvers are cancellable so that the racing solver (§6.1)
+// can abort the slower algorithm once the faster one finishes.
+
+#ifndef SRC_SOLVERS_MCMF_SOLVER_H_
+#define SRC_SOLVERS_MCMF_SOLVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/flow/graph.h"
+
+namespace firmament {
+
+enum class SolveOutcome : uint8_t {
+  kOptimal,      // feasible flow meeting an optimality condition (§4)
+  kInfeasible,   // supplies cannot be routed within capacities
+  kCancelled,    // aborted via the cancellation token; flow state undefined
+  kApproximate,  // stopped at a time budget with a suboptimal solution (§5.1)
+};
+
+struct SolveStats {
+  SolveOutcome outcome = SolveOutcome::kOptimal;
+  int64_t total_cost = 0;
+  uint64_t runtime_us = 0;
+  // Algorithm-specific progress unit: augmentations (SSP, relaxation),
+  // cancelled cycles (cycle canceling), pushes+relabels (cost scaling).
+  uint64_t iterations = 0;
+  // Number of dual-ascent price rises (relaxation) or refine phases
+  // (cost scaling); 0 for algorithms without such a notion.
+  uint64_t phases = 0;
+  std::string algorithm;
+
+  bool optimal() const { return outcome == SolveOutcome::kOptimal; }
+};
+
+class McmfSolver {
+ public:
+  virtual ~McmfSolver() = default;
+
+  McmfSolver(const McmfSolver&) = delete;
+  McmfSolver& operator=(const McmfSolver&) = delete;
+
+  // Computes a min-cost flow for `network`, leaving the result in the
+  // network's per-arc flow. If `cancel` is non-null and becomes true, the
+  // solver returns early with SolveOutcome::kCancelled.
+  virtual SolveStats Solve(FlowNetwork* network, const std::atomic<bool>* cancel = nullptr) = 0;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  McmfSolver() = default;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_SOLVERS_MCMF_SOLVER_H_

@@ -1,0 +1,124 @@
+#include "src/solvers/racing_solver.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/base/check.h"
+#include "src/base/timer.h"
+#include "src/solvers/solver_util.h"
+
+namespace firmament {
+
+namespace {
+
+RelaxationOptions MakeRelaxationOptions(const RacingSolverOptions& options) {
+  RelaxationOptions relax;
+  relax.arc_prioritization = options.arc_prioritization;
+  relax.incremental = false;  // relaxation runs from scratch each round (§6.2)
+  return relax;
+}
+
+CostScalingOptions MakeCostScalingOptions(const RacingSolverOptions& options) {
+  CostScalingOptions cs;
+  cs.alpha = options.cost_scaling_alpha;
+  cs.incremental = options.mode != SolverMode::kCostScalingScratch;
+  return cs;
+}
+
+}  // namespace
+
+RacingSolver::RacingSolver(RacingSolverOptions options)
+    : options_(options),
+      relaxation_(MakeRelaxationOptions(options)),
+      cost_scaling_(MakeCostScalingOptions(options)) {}
+
+void RacingSolver::ResetState() {
+  relaxation_.ResetState();
+  cost_scaling_.ResetState();
+}
+
+SolveStats RacingSolver::Solve(FlowNetwork* network) {
+  last_round_ = RoundStats{};
+  SolveStats result;
+  switch (options_.mode) {
+    case SolverMode::kRelaxationOnly:
+      result = relaxation_.Solve(network);
+      last_round_.relaxation = result;
+      break;
+    case SolverMode::kCostScalingOnly:
+    case SolverMode::kCostScalingScratch:
+      result = cost_scaling_.Solve(network);
+      last_round_.cost_scaling = result;
+      break;
+    case SolverMode::kRace:
+      result = SolveRace(network);
+      break;
+  }
+  last_round_.winner = result;
+  last_round_.winner_algorithm = result.algorithm;
+  network->ClearChanges();
+  return result;
+}
+
+SolveStats RacingSolver::SolveRace(FlowNetwork* network) {
+  // Both mirrors start from the canonical state: the previous round's
+  // winning flow with this round's graph changes applied. Relaxation resets
+  // the flow internally; incremental cost scaling warm-starts from it.
+  relax_net_ = *network;
+  cs_net_ = *network;
+
+  std::atomic<bool> cancel_relax{false};
+  std::atomic<bool> cancel_cs{false};
+  std::atomic<int> winner{-1};  // 0 = relaxation, 1 = cost scaling
+
+  SolveStats cs_stats;
+  std::thread cs_thread([&] {
+    cs_stats = cost_scaling_.Solve(&cs_net_, &cancel_cs);
+    if (cs_stats.outcome != SolveOutcome::kCancelled) {
+      int expected = -1;
+      if (winner.compare_exchange_strong(expected, 1)) {
+        cancel_relax.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  SolveStats relax_stats = relaxation_.Solve(&relax_net_, &cancel_relax);
+  if (relax_stats.outcome != SolveOutcome::kCancelled) {
+    int expected = -1;
+    if (winner.compare_exchange_strong(expected, 0)) {
+      cancel_cs.store(true, std::memory_order_relaxed);
+    }
+  }
+  cs_thread.join();
+
+  last_round_.relaxation = relax_stats;
+  last_round_.cost_scaling = cs_stats;
+
+  int winner_idx = winner.load();
+  CHECK_NE(winner_idx, -1);
+  const bool relaxation_won = winner_idx == 0;
+  SolveStats result = relaxation_won ? relax_stats : cs_stats;
+  if (result.outcome != SolveOutcome::kOptimal) {
+    return result;  // infeasible; flow state is meaningless
+  }
+  network->CopyFlowFrom(relaxation_won ? relax_net_ : cs_net_);
+
+  if (relaxation_won) {
+    // Hand the solution to incremental cost scaling for the next round. With
+    // price refine (§6.2) we recompute reduced potentials from the flow;
+    // without it (Fig. 13 ablation) cost scaling inherits relaxation's raw,
+    // typically much larger, potentials.
+    WallTimer refine_timer;
+    if (options_.price_refine_on_handoff) {
+      std::vector<int64_t> refined;
+      CHECK(PriceRefine(*network, &refined));
+      cost_scaling_.ImportPotentials(std::move(refined));
+    } else {
+      cost_scaling_.ImportPotentials(relaxation_.potentials());
+    }
+    last_round_.price_refine_us = refine_timer.ElapsedMicros();
+  }
+  return result;
+}
+
+}  // namespace firmament

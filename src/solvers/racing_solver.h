@@ -1,0 +1,84 @@
+// Firmament's production solver (§6): speculatively executes relaxation and
+// incremental cost scaling concurrently and picks whichever finishes first.
+//
+// In the common case relaxation wins (§4.2); under oversubscription or large
+// arriving jobs (§4.3) incremental cost scaling finishes first and bounds
+// the placement latency (Fig. 16). Running both is cheap — the algorithms
+// are single-threaded — and avoids a brittle choice heuristic (§6.1).
+//
+// State handoff (§6.2): when relaxation wins, price refine recomputes
+// reduced potentials from its solution so the next incremental cost scaling
+// run warm-starts cheaply (Fig. 13 shows 4x).
+
+#ifndef SRC_SOLVERS_RACING_SOLVER_H_
+#define SRC_SOLVERS_RACING_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/solvers/cost_scaling.h"
+#include "src/solvers/mcmf_solver.h"
+#include "src/solvers/relaxation.h"
+
+namespace firmament {
+
+// Which algorithm(s) the solver runs; single-algorithm modes exist for the
+// paper's ablations ("Relaxation only", "Cost scaling (Quincy)").
+enum class SolverMode : uint8_t {
+  kRace,                // relaxation + incremental cost scaling (Firmament)
+  kRelaxationOnly,      // from-scratch relaxation each round
+  kCostScalingOnly,     // incremental cost scaling each round
+  kCostScalingScratch,  // from-scratch cost scaling each round (Quincy)
+};
+
+struct RacingSolverOptions {
+  SolverMode mode = SolverMode::kRace;
+  int64_t cost_scaling_alpha = 2;
+  bool arc_prioritization = true;
+  // §6.2 price refine at the relaxation -> cost scaling handoff (Fig. 13
+  // ablates this).
+  bool price_refine_on_handoff = true;
+};
+
+struct RoundStats {
+  SolveStats winner;
+  std::string winner_algorithm;
+  // Per-algorithm stats for the round; losers report kCancelled.
+  SolveStats relaxation;
+  SolveStats cost_scaling;
+  uint64_t price_refine_us = 0;
+};
+
+class RacingSolver {
+ public:
+  explicit RacingSolver(RacingSolverOptions options = {});
+
+  RacingSolver(const RacingSolver&) = delete;
+  RacingSolver& operator=(const RacingSolver&) = delete;
+
+  // Solves the canonical network in place: on return, the network carries
+  // the winner's optimal flow and its change log is cleared. Subsequent
+  // calls warm-start from the previous round's state.
+  SolveStats Solve(FlowNetwork* network);
+
+  const RoundStats& last_round() const { return last_round_; }
+  const RacingSolverOptions& options() const { return options_; }
+
+  // Drops warm state (e.g. when switching workloads in benchmarks).
+  void ResetState();
+
+ private:
+  SolveStats SolveRace(FlowNetwork* network);
+
+  RacingSolverOptions options_;
+  Relaxation relaxation_;
+  CostScaling cost_scaling_;
+  FlowNetwork relax_net_;
+  FlowNetwork cs_net_;
+  RoundStats last_round_;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_SOLVERS_RACING_SOLVER_H_

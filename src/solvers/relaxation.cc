@@ -1,0 +1,238 @@
+#include "src/solvers/relaxation.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/timer.h"
+
+namespace firmament {
+
+void Relaxation::ResetState() {
+  potential_.clear();
+}
+
+void Relaxation::UpdateExcess(NodeId node, int64_t delta) {
+  int64_t old_value = excess_[node];
+  int64_t new_value = old_value + delta;
+  total_positive_excess_ += std::max<int64_t>(new_value, 0) - std::max<int64_t>(old_value, 0);
+  excess_[node] = new_value;
+  if (old_value <= 0 && new_value > 0) {
+    positive_queue_.push_back(node);
+  }
+}
+
+void Relaxation::AddToS(const FlowNetwork& net, NodeId node) {
+  in_s_version_[node] = scan_version_;
+  s_nodes_.push_back(node);
+  e_s_ += excess_[node];
+  // Append this node's balanced out-arcs to the frontier. With arc
+  // prioritization (§5.3.1), arcs towards demand nodes go to the front so
+  // the traversal dives towards deficits depth-first.
+  for (ArcRef ref : net.Adjacency(node)) {
+    if (net.RefResidual(ref) <= 0 || ReducedCostOf(net, ref) != 0) {
+      continue;
+    }
+    NodeId head = net.RefDst(ref);
+    if (InS(head)) {
+      continue;
+    }
+    int64_t residual = net.RefResidual(ref);
+    balance_out_ += residual;
+    if (options_.arc_prioritization && excess_[head] < 0) {
+      frontier_.push_front({ref, residual});
+    } else {
+      frontier_.push_back({ref, residual});
+    }
+  }
+}
+
+bool Relaxation::Ascend(FlowNetwork* network, SolveStats* stats) {
+  FlowNetwork& net = *network;
+  // One pass over arcs leaving S: saturate balanced ones (they acquire
+  // negative reduced cost after the rise, so complementary slackness forces
+  // them to capacity) and find the step size theta = min positive leaving
+  // reduced cost.
+  int64_t theta = std::numeric_limits<int64_t>::max();
+  for (NodeId v : s_nodes_) {
+    for (ArcRef ref : net.Adjacency(v)) {
+      NodeId head = net.RefDst(ref);
+      if (InS(head)) {
+        continue;
+      }
+      int64_t residual = net.RefResidual(ref);
+      if (residual <= 0) {
+        continue;
+      }
+      int64_t reduced = ReducedCostOf(net, ref);
+      if (reduced == 0) {
+        net.RefPush(ref, residual);
+        UpdateExcess(v, -residual);
+        UpdateExcess(head, residual);
+      } else if (reduced > 0) {
+        theta = std::min(theta, reduced);
+      }
+    }
+  }
+  if (theta == std::numeric_limits<int64_t>::max()) {
+    return false;  // dual unbounded: no way to route the remaining surplus
+  }
+  for (NodeId v : s_nodes_) {
+    potential_[v] += theta;
+  }
+  ++stats->phases;  // dual ascents
+  return true;
+}
+
+void Relaxation::Augment(FlowNetwork* network, NodeId root, NodeId deficit_node,
+                         SolveStats* stats) {
+  FlowNetwork& net = *network;
+  int64_t delta = std::min(excess_[root], -excess_[deficit_node]);
+  for (NodeId v = deficit_node; v != root;) {
+    DCHECK(pred_version_[v] == scan_version_);
+    ArcRef ref = pred_[v];
+    delta = std::min(delta, net.RefResidual(ref));
+    v = net.RefSrc(ref);
+  }
+  CHECK_GT(delta, 0);
+  for (NodeId v = deficit_node; v != root;) {
+    ArcRef ref = pred_[v];
+    net.RefPush(ref, delta);
+    v = net.RefSrc(ref);
+  }
+  UpdateExcess(root, -delta);
+  UpdateExcess(deficit_node, delta);
+  ++stats->iterations;  // augmentations
+}
+
+SolveStats Relaxation::Solve(FlowNetwork* network, const std::atomic<bool>* cancel) {
+  WallTimer timer;
+  SolveStats stats;
+  stats.algorithm = name();
+  FlowNetwork& net = *network;
+  const NodeId node_cap = net.NodeCapacity();
+
+  if (options_.incremental) {
+    potential_.resize(node_cap, 0);
+  } else {
+    net.ClearFlow();
+    potential_.assign(node_cap, 0);
+  }
+
+  // Restore complementary slackness w.r.t. the starting potentials: clamp
+  // the flow on every arc whose reduced cost sign disagrees with it. From
+  // scratch (pi = 0) this saturates negative-cost arcs only.
+  for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
+    if (!net.IsValidArc(arc)) {
+      continue;
+    }
+    if (net.Flow(arc) > net.Capacity(arc)) {
+      net.SetFlow(arc, net.Capacity(arc));  // capacity shrank under warm start
+    }
+    int64_t c_pi = net.Cost(arc) - potential_[net.Src(arc)] + potential_[net.Dst(arc)];
+    if (c_pi < 0) {
+      net.SetFlow(arc, net.Capacity(arc));
+    } else if (c_pi > 0) {
+      net.SetFlow(arc, 0);
+    }
+  }
+
+  // Excesses.
+  excess_.assign(node_cap, 0);
+  total_positive_excess_ = 0;
+  positive_queue_.clear();
+  for (NodeId node : net.ValidNodes()) {
+    excess_[node] = net.Supply(node);
+  }
+  for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
+    if (!net.IsValidArc(arc)) {
+      continue;
+    }
+    excess_[net.Src(arc)] -= net.Flow(arc);
+    excess_[net.Dst(arc)] += net.Flow(arc);
+  }
+  for (NodeId node : net.ValidNodes()) {
+    if (excess_[node] > 0) {
+      total_positive_excess_ += excess_[node];
+      positive_queue_.push_back(node);
+    }
+  }
+
+  in_s_version_.assign(node_cap, 0);
+  pred_version_.assign(node_cap, 0);
+  pred_.assign(node_cap, kInvalidArcId);
+  scan_version_ = 0;
+
+  uint64_t steps_since_poll = 0;
+  while (total_positive_excess_ > 0) {
+    CHECK(!positive_queue_.empty());
+    NodeId s = positive_queue_.front();
+    positive_queue_.pop_front();
+    if (excess_[s] <= 0) {
+      continue;  // stale entry
+    }
+    // Re-queue s; it stays a candidate until its surplus is gone. Scans
+    // below may only move part of it.
+    positive_queue_.push_back(s);
+
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      stats.outcome = SolveOutcome::kCancelled;
+      return stats;
+    }
+    if (options_.time_budget_us != 0 && timer.ElapsedMicros() > options_.time_budget_us) {
+      stats.outcome = SolveOutcome::kApproximate;
+      stats.runtime_us = timer.ElapsedMicros();
+      return stats;
+    }
+
+    // --- One relaxation iteration: scan from s -----------------------------
+    ++scan_version_;
+    s_nodes_.clear();
+    frontier_.clear();
+    e_s_ = 0;
+    balance_out_ = 0;
+    AddToS(net, s);
+
+    for (;;) {
+      if (e_s_ > balance_out_) {
+        // Raising pi(S) strictly increases the dual: ascend and restart.
+        if (!Ascend(&net, &stats)) {
+          stats.outcome = SolveOutcome::kInfeasible;
+          stats.runtime_us = timer.ElapsedMicros();
+          return stats;
+        }
+        break;
+      }
+      // e_S <= balance_out implies some frontier mass remains.
+      CHECK(!frontier_.empty());
+      FrontierEntry entry = frontier_.front();
+      frontier_.pop_front();
+      balance_out_ -= entry.recorded_residual;
+      // Entries can go stale: the head may have joined S, or pushes may have
+      // consumed the residual.
+      NodeId head = net.RefDst(entry.ref);
+      if (InS(head) || net.RefResidual(entry.ref) <= 0 || ReducedCostOf(net, entry.ref) != 0) {
+        continue;
+      }
+      pred_[head] = entry.ref;
+      pred_version_[head] = scan_version_;
+      if (excess_[head] < 0) {
+        Augment(&net, s, head, &stats);
+        break;
+      }
+      AddToS(net, head);
+      if (++steps_since_poll >= 16384) {
+        steps_since_poll = 0;
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+          stats.outcome = SolveOutcome::kCancelled;
+          return stats;
+        }
+      }
+    }
+  }
+
+  stats.total_cost = net.TotalCost();
+  stats.runtime_us = timer.ElapsedMicros();
+  return stats;
+}
+
+}  // namespace firmament

@@ -1,0 +1,64 @@
+#include "src/solvers/solution_checker.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/solvers/solver_util.h"
+
+namespace firmament {
+
+namespace {
+
+std::string Format(const char* fmt, long long a, long long b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+}  // namespace
+
+CheckResult CheckFeasibility(const FlowNetwork& net) {
+  CheckResult result;
+  for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
+    if (!net.IsValidArc(arc)) {
+      continue;
+    }
+    if (net.Flow(arc) < 0 || net.Flow(arc) > net.Capacity(arc)) {
+      result.message = Format("arc %lld: flow %lld outside [0, capacity]",
+                              static_cast<long long>(arc), static_cast<long long>(net.Flow(arc)));
+      return result;
+    }
+  }
+  for (NodeId node : net.ValidNodes()) {
+    int64_t excess = net.Excess(node);
+    if (excess != 0) {
+      result.message = Format("node %lld: non-zero excess %lld", static_cast<long long>(node),
+                              static_cast<long long>(excess));
+      return result;
+    }
+  }
+  result.feasible = true;
+  return result;
+}
+
+CheckResult CheckOptimality(const FlowNetwork& net) {
+  CheckResult result = CheckFeasibility(net);
+  if (!result.feasible) {
+    return result;
+  }
+  std::vector<ArcRef> cycle = FindNegativeCycle(net);
+  if (!cycle.empty()) {
+    int64_t cycle_cost = 0;
+    for (ArcRef ref : cycle) {
+      cycle_cost += net.RefCost(ref);
+    }
+    result.message = Format("negative residual cycle of length %lld, cost %lld",
+                            static_cast<long long>(cycle.size()),
+                            static_cast<long long>(cycle_cost));
+    return result;
+  }
+  result.optimal = true;
+  return result;
+}
+
+}  // namespace firmament

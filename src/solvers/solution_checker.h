@@ -1,0 +1,35 @@
+// Validation of solver output against the §4 optimality conditions.
+//
+// A solution must be feasible (mass balance, Eq. 2; capacity bounds, Eq. 3)
+// AND optimal (no negative-cost residual cycle), because "an infeasible
+// solution fails to route all flow ... while a non-optimal solution
+// misplaces tasks" (§5.2). The checker is used in tests and by the racing
+// solver in debug builds.
+
+#ifndef SRC_SOLVERS_SOLUTION_CHECKER_H_
+#define SRC_SOLVERS_SOLUTION_CHECKER_H_
+
+#include <string>
+
+#include "src/flow/graph.h"
+
+namespace firmament {
+
+struct CheckResult {
+  bool feasible = false;
+  bool optimal = false;
+  std::string message;  // diagnostic for the first violated condition
+
+  bool ok() const { return feasible && optimal; }
+};
+
+// Verifies capacity bounds and mass balance at every node.
+CheckResult CheckFeasibility(const FlowNetwork& net);
+
+// Verifies feasibility and then negative-cycle optimality (O(N*M); intended
+// for tests, not production rounds).
+CheckResult CheckOptimality(const FlowNetwork& net);
+
+}  // namespace firmament
+
+#endif  // SRC_SOLVERS_SOLUTION_CHECKER_H_

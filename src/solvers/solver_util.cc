@@ -1,0 +1,128 @@
+#include "src/solvers/solver_util.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/base/check.h"
+
+namespace firmament {
+
+namespace {
+
+// Label-correcting pass over the residual network from a virtual root at
+// distance 0 to every node. On success, dist[v] is the (non-positive)
+// shortest distance and parent[v] the ArcRef used to reach v. Returns
+// kInvalidNodeId on success or a node known to lie on / be reachable from a
+// negative cycle otherwise.
+NodeId SpfaFromEverywhere(const FlowNetwork& net, std::vector<int64_t>* dist,
+                          std::vector<ArcRef>* parent, uint32_t max_relaxations = 0) {
+  const NodeId cap = net.NodeCapacity();
+  dist->assign(cap, 0);
+  parent->assign(cap, kInvalidArcId);
+  std::vector<uint32_t> relax_count(cap, 0);
+  std::vector<bool> in_queue(cap, false);
+  std::deque<NodeId> queue;
+  for (NodeId node : net.ValidNodes()) {
+    queue.push_back(node);
+    in_queue[node] = true;
+  }
+  if (max_relaxations == 0) {
+    max_relaxations = static_cast<uint32_t>(net.NumNodes()) + 1;
+  }
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    in_queue[u] = false;
+    for (ArcRef ref : net.Adjacency(u)) {
+      if (net.RefSrc(ref) != u || net.RefResidual(ref) <= 0) {
+        continue;
+      }
+      NodeId v = net.RefDst(ref);
+      int64_t nd = (*dist)[u] + net.RefCost(ref);
+      if (nd < (*dist)[v]) {
+        (*dist)[v] = nd;
+        (*parent)[v] = ref;
+        if (++relax_count[v] > max_relaxations) {
+          return v;  // negative cycle
+        }
+        if (!in_queue[v]) {
+          // SLF heuristic: put promising nodes at the front.
+          if (!queue.empty() && nd < (*dist)[queue.front()]) {
+            queue.push_front(v);
+          } else {
+            queue.push_back(v);
+          }
+          in_queue[v] = true;
+        }
+      }
+    }
+  }
+  return kInvalidNodeId;
+}
+
+}  // namespace
+
+bool ComputeOptimalPotentials(const FlowNetwork& net, std::vector<int64_t>* potential) {
+  std::vector<int64_t> dist;
+  std::vector<ArcRef> parent;
+  if (SpfaFromEverywhere(net, &dist, &parent) != kInvalidNodeId) {
+    return false;
+  }
+  potential->assign(net.NodeCapacity(), 0);
+  // With pi(v) = -dist(v): c_pi(u,v) = c + dist(u) - dist(v) >= 0 by the
+  // shortest-path condition.
+  for (NodeId node : net.ValidNodes()) {
+    (*potential)[node] = -dist[node];
+  }
+  return true;
+}
+
+std::vector<ArcRef> FindNegativeCycle(const FlowNetwork& net) {
+  std::vector<int64_t> dist;
+  std::vector<ArcRef> parent;
+  NodeId witness = SpfaFromEverywhere(net, &dist, &parent);
+  if (witness == kInvalidNodeId) {
+    return {};
+  }
+  // Walk parents N times to guarantee we are inside the cycle, then collect.
+  NodeId cur = witness;
+  for (size_t i = 0; i < net.NumNodes(); ++i) {
+    CHECK_NE(parent[cur], kInvalidArcId);
+    cur = net.RefSrc(parent[cur]);
+  }
+  std::vector<ArcRef> cycle;
+  NodeId start = cur;
+  do {
+    ArcRef ref = parent[cur];
+    CHECK_NE(ref, kInvalidArcId);
+    cycle.push_back(ref);
+    cur = net.RefSrc(ref);
+  } while (cur != start);
+  std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+bool PriceRefine(const FlowNetwork& net, std::vector<int64_t>* potential) {
+  std::vector<int64_t> refined;
+  if (!ComputeOptimalPotentials(net, &refined)) {
+    return false;
+  }
+  *potential = std::move(refined);
+  return true;
+}
+
+bool TryProveOptimal(const FlowNetwork& net, std::vector<int64_t>* potential,
+                     uint32_t relax_bound) {
+  std::vector<int64_t> dist;
+  std::vector<ArcRef> parent;
+  if (SpfaFromEverywhere(net, &dist, &parent, relax_bound) != kInvalidNodeId) {
+    return false;  // inconclusive (or an actual negative cycle)
+  }
+  potential->assign(net.NodeCapacity(), 0);
+  for (NodeId node : net.ValidNodes()) {
+    (*potential)[node] = -dist[node];
+  }
+  return true;
+}
+
+}  // namespace firmament

@@ -1,0 +1,148 @@
+#include "src/solvers/successive_shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/base/check.h"
+#include "src/base/timer.h"
+#include "src/solvers/solver_util.h"
+
+namespace firmament {
+
+namespace {
+
+constexpr int64_t kInfDist = std::numeric_limits<int64_t>::max();
+
+}  // namespace
+
+SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic<bool>* cancel) {
+  WallTimer timer;
+  SolveStats stats;
+  stats.algorithm = name();
+  FlowNetwork& net = *network;
+  net.ClearFlow();
+
+  const NodeId cap = net.NodeCapacity();
+  std::vector<int64_t> potential;
+  // Initial potentials make all reduced costs non-negative even if the input
+  // has negative arc costs (scheduling graphs do not, but DIMACS inputs may).
+  if (!ComputeOptimalPotentials(net, &potential)) {
+    // Negative cycle with zero flow => negative-cost arcs form a cycle; the
+    // problem is still solvable but not by plain SSP. Scheduling graphs are
+    // DAGs, so we simply report it.
+    stats.outcome = SolveOutcome::kInfeasible;
+    return stats;
+  }
+
+  std::vector<int64_t> excess(cap, 0);
+  std::vector<NodeId> sources;
+  for (NodeId node : net.ValidNodes()) {
+    excess[node] = net.Supply(node);
+    if (excess[node] > 0) {
+      sources.push_back(node);
+    }
+  }
+
+  std::vector<int64_t> dist(cap, kInfDist);
+  std::vector<ArcRef> parent(cap, kInvalidArcId);
+  std::vector<NodeId> touched;
+  using HeapEntry = std::pair<int64_t, NodeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  std::vector<bool> finalized(cap, false);
+
+  while (!sources.empty()) {
+    NodeId s = sources.back();
+    if (excess[s] <= 0) {
+      sources.pop_back();
+      continue;
+    }
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      stats.outcome = SolveOutcome::kCancelled;
+      return stats;
+    }
+
+    // Dijkstra over reduced costs from s until the nearest deficit node.
+    for (NodeId t : touched) {
+      dist[t] = kInfDist;
+      parent[t] = kInvalidArcId;
+      finalized[t] = false;
+    }
+    touched.clear();
+    while (!heap.empty()) {
+      heap.pop();
+    }
+    dist[s] = 0;
+    touched.push_back(s);
+    heap.emplace(0, s);
+    NodeId deficit_node = kInvalidNodeId;
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (finalized[u]) {
+        continue;
+      }
+      finalized[u] = true;
+      if (excess[u] < 0) {
+        deficit_node = u;
+        break;
+      }
+      for (ArcRef ref : net.Adjacency(u)) {
+        if (net.RefResidual(ref) <= 0) {
+          continue;
+        }
+        NodeId v = net.RefDst(ref);
+        if (finalized[v]) {
+          continue;
+        }
+        int64_t rc = net.RefCost(ref) - potential[u] + potential[v];
+        DCHECK_GE(rc, 0);
+        int64_t nd = d + rc;
+        if (dist[v] == kInfDist) {
+          touched.push_back(v);
+        }
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          parent[v] = ref;
+          heap.emplace(nd, v);
+        }
+      }
+    }
+    if (deficit_node == kInvalidNodeId) {
+      stats.outcome = SolveOutcome::kInfeasible;
+      return stats;
+    }
+
+    // Update potentials so reduced costs stay non-negative after augmenting.
+    // Equivalent to pi(v) -= min(d(v), d_t) for every node, shifted by the
+    // constant d_t so that unreached nodes need no update.
+    int64_t d_t = dist[deficit_node];
+    for (NodeId v : touched) {
+      if (dist[v] < d_t) {
+        potential[v] += d_t - dist[v];
+      }
+    }
+
+    // Augment along the parent path.
+    int64_t delta = std::min(excess[s], -excess[deficit_node]);
+    for (NodeId v = deficit_node; v != s;) {
+      ArcRef ref = parent[v];
+      delta = std::min(delta, net.RefResidual(ref));
+      v = net.RefSrc(ref);
+    }
+    CHECK_GT(delta, 0);
+    for (NodeId v = deficit_node; v != s;) {
+      ArcRef ref = parent[v];
+      net.RefPush(ref, delta);
+      v = net.RefSrc(ref);
+    }
+    excess[s] -= delta;
+    excess[deficit_node] += delta;
+    ++stats.iterations;
+  }
+
+  stats.total_cost = net.TotalCost();
+  stats.runtime_us = timer.ElapsedMicros();
+  return stats;
+}
+
+}  // namespace firmament

@@ -1,0 +1,28 @@
+// Successive shortest path MCMF algorithm (§4, [2] p. 320).
+//
+// Maintains reduced-cost optimality at every step and works towards
+// feasibility: it repeatedly selects a source node and sends flow along the
+// shortest path (w.r.t. reduced costs) to a deficit node. Despite the best
+// worst-case bound of the four algorithms (Table 1), it is slow on
+// scheduling graphs (Fig. 7).
+
+#ifndef SRC_SOLVERS_SUCCESSIVE_SHORTEST_PATH_H_
+#define SRC_SOLVERS_SUCCESSIVE_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "src/solvers/mcmf_solver.h"
+
+namespace firmament {
+
+class SuccessiveShortestPath : public McmfSolver {
+ public:
+  SuccessiveShortestPath() = default;
+
+  SolveStats Solve(FlowNetwork* network, const std::atomic<bool>* cancel = nullptr) override;
+  std::string name() const override { return "successive_shortest_path"; }
+};
+
+}  // namespace firmament
+
+#endif  // SRC_SOLVERS_SUCCESSIVE_SHORTEST_PATH_H_

@@ -1,0 +1,294 @@
+// Unit tests for the flow network representation (src/flow/graph.*).
+
+#include "src/flow/graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/flow/dimacs.h"
+#include "src/flow/graphviz.h"
+
+namespace firmament {
+namespace {
+
+TEST(FlowNetworkTest, EmptyNetwork) {
+  FlowNetwork net;
+  EXPECT_EQ(net.NumNodes(), 0u);
+  EXPECT_EQ(net.NumArcs(), 0u);
+  EXPECT_EQ(net.TotalCost(), 0);
+  EXPECT_EQ(net.TotalPositiveSupply(), 0);
+}
+
+TEST(FlowNetworkTest, AddNodesAndArcs) {
+  FlowNetwork net;
+  NodeId a = net.AddNode(2, NodeKind::kTask);
+  NodeId b = net.AddNode(-2, NodeKind::kSink);
+  ArcId arc = net.AddArc(a, b, 5, 3);
+  EXPECT_EQ(net.NumNodes(), 2u);
+  EXPECT_EQ(net.NumArcs(), 1u);
+  EXPECT_EQ(net.Src(arc), a);
+  EXPECT_EQ(net.Dst(arc), b);
+  EXPECT_EQ(net.Capacity(arc), 5);
+  EXPECT_EQ(net.Cost(arc), 3);
+  EXPECT_EQ(net.Flow(arc), 0);
+  EXPECT_EQ(net.Kind(a), NodeKind::kTask);
+  EXPECT_EQ(net.Kind(b), NodeKind::kSink);
+  EXPECT_EQ(net.Supply(a), 2);
+  EXPECT_EQ(net.TotalPositiveSupply(), 2);
+}
+
+TEST(FlowNetworkTest, AdjacencyContainsResidualArcsInBothDirections) {
+  FlowNetwork net;
+  NodeId a = net.AddNode(1);
+  NodeId b = net.AddNode(-1);
+  ArcId arc = net.AddArc(a, b, 4, 7);
+  ASSERT_EQ(net.Adjacency(a).size(), 1u);
+  ASSERT_EQ(net.Adjacency(b).size(), 1u);
+  ArcRef fwd = net.Adjacency(a)[0];
+  ArcRef rev = net.Adjacency(b)[0];
+  EXPECT_EQ(FlowNetwork::RefArc(fwd), arc);
+  EXPECT_FALSE(FlowNetwork::RefIsReverse(fwd));
+  EXPECT_TRUE(FlowNetwork::RefIsReverse(rev));
+  EXPECT_EQ(net.RefDst(fwd), b);
+  EXPECT_EQ(net.RefDst(rev), a);
+  EXPECT_EQ(net.RefCost(fwd), 7);
+  EXPECT_EQ(net.RefCost(rev), -7);
+  EXPECT_EQ(net.RefResidual(fwd), 4);
+  EXPECT_EQ(net.RefResidual(rev), 0);
+}
+
+TEST(FlowNetworkTest, RefPushMovesResidualCapacity) {
+  FlowNetwork net;
+  NodeId a = net.AddNode(1);
+  NodeId b = net.AddNode(-1);
+  ArcId arc = net.AddArc(a, b, 4, 1);
+  ArcRef fwd = FlowNetwork::MakeRef(arc, false);
+  ArcRef rev = FlowNetwork::MakeRef(arc, true);
+  net.RefPush(fwd, 3);
+  EXPECT_EQ(net.Flow(arc), 3);
+  EXPECT_EQ(net.RefResidual(fwd), 1);
+  EXPECT_EQ(net.RefResidual(rev), 3);
+  net.RefPush(rev, 2);
+  EXPECT_EQ(net.Flow(arc), 1);
+}
+
+TEST(FlowNetworkTest, ExcessReflectsSupplyAndFlow) {
+  FlowNetwork net;
+  NodeId a = net.AddNode(3);
+  NodeId b = net.AddNode(0);
+  NodeId c = net.AddNode(-3, NodeKind::kSink);
+  ArcId ab = net.AddArc(a, b, 5, 1);
+  ArcId bc = net.AddArc(b, c, 5, 1);
+  EXPECT_EQ(net.Excess(a), 3);
+  EXPECT_EQ(net.Excess(b), 0);
+  EXPECT_EQ(net.Excess(c), -3);
+  net.SetFlow(ab, 2);
+  EXPECT_EQ(net.Excess(a), 1);
+  EXPECT_EQ(net.Excess(b), 2);
+  net.SetFlow(bc, 2);
+  EXPECT_EQ(net.Excess(b), 0);
+  EXPECT_EQ(net.Excess(c), -1);
+  EXPECT_EQ(net.TotalCost(), 4);
+}
+
+TEST(FlowNetworkTest, RemoveArcKeepsAdjacencyConsistent) {
+  FlowNetwork net;
+  NodeId hub = net.AddNode(0);
+  std::vector<ArcId> arcs;
+  std::vector<NodeId> peers;
+  for (int i = 0; i < 10; ++i) {
+    NodeId peer = net.AddNode(0);
+    peers.push_back(peer);
+    arcs.push_back(net.AddArc(hub, peer, i + 1, i));
+  }
+  // Remove every other arc and verify the survivors are all reachable via
+  // adjacency with correct positions.
+  for (size_t i = 0; i < arcs.size(); i += 2) {
+    net.RemoveArc(arcs[i]);
+  }
+  EXPECT_EQ(net.NumArcs(), 5u);
+  EXPECT_EQ(net.Adjacency(hub).size(), 5u);
+  std::set<ArcId> seen;
+  for (ArcRef ref : net.Adjacency(hub)) {
+    ArcId arc = FlowNetwork::RefArc(ref);
+    EXPECT_TRUE(net.IsValidArc(arc));
+    EXPECT_FALSE(FlowNetwork::RefIsReverse(ref));
+    seen.insert(arc);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  // Each peer with a removed arc has empty adjacency.
+  for (size_t i = 0; i < peers.size(); ++i) {
+    EXPECT_EQ(net.Adjacency(peers[i]).size(), i % 2 == 0 ? 0u : 1u);
+  }
+}
+
+TEST(FlowNetworkTest, RemoveNodeRemovesIncidentArcs) {
+  FlowNetwork net;
+  NodeId a = net.AddNode(0);
+  NodeId b = net.AddNode(0);
+  NodeId c = net.AddNode(0);
+  net.AddArc(a, b, 1, 1);
+  net.AddArc(b, c, 1, 1);
+  net.AddArc(c, a, 1, 1);
+  net.RemoveNode(b);
+  EXPECT_FALSE(net.IsValidNode(b));
+  EXPECT_EQ(net.NumNodes(), 2u);
+  EXPECT_EQ(net.NumArcs(), 1u);
+  EXPECT_EQ(net.Adjacency(a).size(), 1u);
+  EXPECT_EQ(net.Adjacency(c).size(), 1u);
+}
+
+TEST(FlowNetworkTest, NodeIdsAreRecycled) {
+  FlowNetwork net;
+  NodeId a = net.AddNode(0);
+  net.AddNode(0);
+  net.RemoveNode(a);
+  NodeId c = net.AddNode(5);
+  EXPECT_EQ(c, a);  // freed id is reused
+  EXPECT_EQ(net.Supply(c), 5);
+  EXPECT_EQ(net.NodeCapacity(), 2u);
+}
+
+TEST(FlowNetworkTest, ValidNodesTracksRemovals) {
+  FlowNetwork net;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(net.AddNode(0));
+  }
+  net.RemoveNode(ids[1]);
+  net.RemoveNode(ids[3]);
+  std::set<NodeId> valid(net.ValidNodes().begin(), net.ValidNodes().end());
+  EXPECT_EQ(valid, (std::set<NodeId>{ids[0], ids[2], ids[4]}));
+}
+
+TEST(FlowNetworkTest, ChangeLogRecordsMutations) {
+  FlowNetwork net;
+  net.EnableChangeRecording(true);
+  NodeId a = net.AddNode(1);
+  NodeId b = net.AddNode(-1);
+  ArcId arc = net.AddArc(a, b, 3, 9);
+  net.SetArcCost(arc, 11);
+  net.SetArcCapacity(arc, 5);
+  net.SetNodeSupply(a, 2);
+  net.RemoveArc(arc);
+  ASSERT_EQ(net.Changes().size(), 7u);
+  EXPECT_EQ(net.Changes()[2].kind, GraphChange::Kind::kAddArc);
+  EXPECT_EQ(net.Changes()[3].kind, GraphChange::Kind::kArcCost);
+  EXPECT_EQ(net.Changes()[3].old_value, 9);
+  EXPECT_EQ(net.Changes()[3].new_value, 11);
+  EXPECT_EQ(net.Changes()[4].kind, GraphChange::Kind::kArcCapacity);
+  EXPECT_EQ(net.Changes()[5].kind, GraphChange::Kind::kNodeSupply);
+  EXPECT_EQ(net.Changes()[6].kind, GraphChange::Kind::kRemoveArc);
+  net.ClearChanges();
+  EXPECT_TRUE(net.Changes().empty());
+}
+
+TEST(FlowNetworkTest, NoOpMutationsAreNotRecorded) {
+  FlowNetwork net;
+  net.EnableChangeRecording(true);
+  NodeId a = net.AddNode(0);
+  NodeId b = net.AddNode(0);
+  ArcId arc = net.AddArc(a, b, 3, 9);
+  net.ClearChanges();
+  net.SetArcCost(arc, 9);
+  net.SetArcCapacity(arc, 3);
+  net.SetNodeSupply(a, 0);
+  EXPECT_TRUE(net.Changes().empty());
+}
+
+TEST(FlowNetworkTest, ChangeRecordingDisabledByDefault) {
+  FlowNetwork net;
+  NodeId a = net.AddNode(1);
+  NodeId b = net.AddNode(-1);
+  net.AddArc(a, b, 1, 1);
+  EXPECT_TRUE(net.Changes().empty());
+}
+
+TEST(FlowNetworkTest, CopyPreservesStructureAndFlow) {
+  FlowNetwork net;
+  NodeId a = net.AddNode(1);
+  NodeId b = net.AddNode(-1);
+  ArcId arc = net.AddArc(a, b, 4, 2);
+  net.SetFlow(arc, 3);
+  FlowNetwork copy = net;
+  EXPECT_EQ(copy.Flow(arc), 3);
+  copy.SetFlow(arc, 1);
+  EXPECT_EQ(net.Flow(arc), 3);  // deep copy
+  net.CopyFlowFrom(copy);
+  EXPECT_EQ(net.Flow(arc), 1);
+}
+
+TEST(DimacsTest, RoundTrip) {
+  FlowNetwork net;
+  NodeId a = net.AddNode(4);
+  NodeId b = net.AddNode(0);
+  NodeId c = net.AddNode(-4);
+  net.AddArc(a, b, 4, 2);
+  net.AddArc(b, c, 4, 3);
+  net.AddArc(a, c, 2, 10);
+  std::string text = WriteDimacs(net);
+  std::optional<FlowNetwork> parsed = ReadDimacs(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->NumNodes(), 3u);
+  EXPECT_EQ(parsed->NumArcs(), 3u);
+  EXPECT_EQ(parsed->TotalPositiveSupply(), 4);
+}
+
+TEST(DimacsTest, ParsesKnownProblem) {
+  const std::string text =
+      "c example\n"
+      "p min 3 2\n"
+      "n 1 5\n"
+      "n 3 -5\n"
+      "a 1 2 0 5 1\n"
+      "a 2 3 0 5 2\n";
+  std::optional<FlowNetwork> net = ReadDimacs(text);
+  ASSERT_TRUE(net.has_value());
+  EXPECT_EQ(net->NumNodes(), 3u);
+  EXPECT_EQ(net->NumArcs(), 2u);
+  EXPECT_EQ(net->TotalPositiveSupply(), 5);
+}
+
+TEST(DimacsTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ReadDimacs("p max 3 2\n", &error).has_value());
+  EXPECT_FALSE(ReadDimacs("a 1 2 0 5 1\n", &error).has_value());
+  EXPECT_FALSE(ReadDimacs("p min 2 1\na 1 5 0 5 1\n", &error).has_value());
+  EXPECT_FALSE(ReadDimacs("p min 2 1\na 1 2 3 5 1\n", &error).has_value());
+  EXPECT_FALSE(ReadDimacs("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+
+TEST(GraphvizTest, RendersNodesArcsAndFlow) {
+  FlowNetwork net;
+  NodeId task = net.AddNode(1, NodeKind::kTask);
+  NodeId machine = net.AddNode(0, NodeKind::kMachine);
+  NodeId sink = net.AddNode(-1, NodeKind::kSink);
+  ArcId tm = net.AddArc(task, machine, 1, 5);
+  net.AddArc(machine, sink, 2, 0);
+  net.SetFlow(tm, 1);
+  std::string dot = WriteGraphviz(net);
+  EXPECT_NE(dot.find("digraph flow_network"), std::string::npos);
+  EXPECT_NE(dot.find("shape=circle"), std::string::npos);       // task
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);          // machine
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos); // sink
+  EXPECT_NE(dot.find("color=red"), std::string::npos);          // flow-carrying arc
+  EXPECT_NE(dot.find("5/1"), std::string::npos);                // cost/capacity label
+}
+
+TEST(GraphvizTest, SkipsRemovedEntities) {
+  FlowNetwork net;
+  NodeId a = net.AddNode(0, NodeKind::kAggregator);
+  NodeId b = net.AddNode(0, NodeKind::kMachine);
+  net.AddArc(a, b, 1, 1);
+  net.RemoveNode(b);
+  std::string dot = WriteGraphviz(net);
+  EXPECT_EQ(dot.find("shape=box"), std::string::npos);
+  EXPECT_EQ(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace firmament

@@ -1,0 +1,108 @@
+// Random flow-network generators for solver cross-validation tests.
+//
+// Two families:
+//  * Scheduling-style graphs: tasks -> {machines, aggregators, unscheduled}
+//    with the topology of Fig. 6. Always feasible (unscheduled aggregators
+//    absorb any unplaceable task, exactly as in the paper).
+//  * General transport graphs: random arcs plus a guaranteed high-cost
+//    backbone so the instance stays feasible.
+
+#ifndef TESTS_GRAPH_GENERATORS_H_
+#define TESTS_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/flow/graph.h"
+
+namespace firmament {
+
+struct SchedulingGraphSpec {
+  int num_tasks = 20;
+  int num_machines = 8;
+  int num_racks = 2;
+  int slots_per_machine = 3;
+  int preference_arcs_per_task = 3;
+  int64_t max_cost = 100;
+  uint64_t seed = 42;
+};
+
+// Builds a Quincy-style scheduling graph (cluster aggregator, rack
+// aggregators, per-task preference arcs, per-job unscheduled aggregators).
+inline FlowNetwork MakeSchedulingGraph(const SchedulingGraphSpec& spec) {
+  Rng rng(spec.seed);
+  FlowNetwork net;
+  NodeId sink = net.AddNode(-spec.num_tasks, NodeKind::kSink);
+  NodeId cluster_agg = net.AddNode(0, NodeKind::kAggregator);
+  std::vector<NodeId> racks;
+  std::vector<NodeId> machines;
+  for (int r = 0; r < spec.num_racks; ++r) {
+    NodeId rack = net.AddNode(0, NodeKind::kAggregator);
+    racks.push_back(rack);
+    net.AddArc(cluster_agg, rack, spec.num_tasks, rng.NextInt(0, spec.max_cost / 4));
+  }
+  for (int m = 0; m < spec.num_machines; ++m) {
+    NodeId machine = net.AddNode(0, NodeKind::kMachine);
+    machines.push_back(machine);
+    NodeId rack = racks[static_cast<size_t>(m) % racks.size()];
+    net.AddArc(rack, machine, spec.slots_per_machine, rng.NextInt(0, spec.max_cost / 4));
+    net.AddArc(machine, sink, spec.slots_per_machine, 0);
+  }
+  NodeId unsched = net.AddNode(0, NodeKind::kUnscheduled);
+  net.AddArc(unsched, sink, spec.num_tasks, 0);
+  for (int t = 0; t < spec.num_tasks; ++t) {
+    NodeId task = net.AddNode(1, NodeKind::kTask);
+    net.AddArc(task, unsched, 1, rng.NextInt(spec.max_cost / 2, spec.max_cost));
+    net.AddArc(task, cluster_agg, 1, rng.NextInt(spec.max_cost / 4, spec.max_cost / 2));
+    for (int p = 0; p < spec.preference_arcs_per_task; ++p) {
+      NodeId machine = machines[rng.NextUint64(machines.size())];
+      net.AddArc(task, machine, 1, rng.NextInt(0, spec.max_cost / 4));
+    }
+  }
+  return net;
+}
+
+struct TransportGraphSpec {
+  int num_nodes = 30;
+  int num_arcs = 120;
+  int num_sources = 5;
+  int64_t max_supply = 10;
+  int64_t max_capacity = 20;
+  int64_t max_cost = 50;
+  uint64_t seed = 1;
+};
+
+// Random directed graph; sources feed a single sink. A direct
+// source -> sink backbone at max cost guarantees feasibility.
+inline FlowNetwork MakeTransportGraph(const TransportGraphSpec& spec) {
+  Rng rng(spec.seed);
+  FlowNetwork net;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < spec.num_nodes; ++i) {
+    nodes.push_back(net.AddNode(0));
+  }
+  NodeId sink = nodes[0];
+  net.SetKind(sink, NodeKind::kSink);
+  int64_t total_supply = 0;
+  for (int s = 0; s < spec.num_sources; ++s) {
+    NodeId src = nodes[1 + rng.NextUint64(nodes.size() - 1)];
+    int64_t supply = rng.NextInt(1, spec.max_supply);
+    net.SetNodeSupply(src, net.Supply(src) + supply);
+    total_supply += supply;
+    net.AddArc(src, sink, supply, spec.max_cost);  // feasibility backbone
+  }
+  net.SetNodeSupply(sink, -total_supply);
+  for (int a = 0; a < spec.num_arcs; ++a) {
+    NodeId u = nodes[rng.NextUint64(nodes.size())];
+    NodeId v = nodes[rng.NextUint64(nodes.size())];
+    if (u == v) {
+      continue;
+    }
+    net.AddArc(u, v, rng.NextInt(0, spec.max_capacity), rng.NextInt(0, spec.max_cost));
+  }
+  return net;
+}
+
+}  // namespace firmament
+
+#endif  // TESTS_GRAPH_GENERATORS_H_

@@ -1,0 +1,328 @@
+// Integration and property tests across the scheduler stack: every policy
+// must produce capacity-respecting, optimality-certified placements through
+// long sequences of cluster events, and the simulator's accounting must stay
+// consistent.
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/load_spreading_policy.h"
+#include "src/core/network_aware_policy.h"
+#include "src/core/quincy_policy.h"
+#include "src/core/scheduler.h"
+#include "src/sim/block_store.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace_generator.h"
+#include "src/solvers/solution_checker.h"
+
+namespace firmament {
+namespace {
+
+constexpr SimTime kSec = kMicrosPerSecond;
+
+enum class Policy { kLoadSpreading, kQuincy, kQuincyWithLocality, kNetworkAware };
+
+struct Stack {
+  ClusterState cluster;
+  std::unique_ptr<BlockStore> store;
+  std::unique_ptr<SchedulingPolicy> policy;
+  std::unique_ptr<FirmamentScheduler> scheduler;
+};
+
+std::unique_ptr<Stack> MakeStack(Policy kind, int racks, int per_rack, int slots,
+                                 SolverMode mode = SolverMode::kRace) {
+  auto stack = std::make_unique<Stack>();
+  switch (kind) {
+    case Policy::kLoadSpreading:
+      stack->policy = std::make_unique<LoadSpreadingPolicy>(&stack->cluster);
+      break;
+    case Policy::kQuincy:
+      stack->policy = std::make_unique<QuincyPolicy>(&stack->cluster, nullptr);
+      break;
+    case Policy::kQuincyWithLocality:
+      stack->store = std::make_unique<BlockStore>(&stack->cluster, 11);
+      stack->policy = std::make_unique<QuincyPolicy>(&stack->cluster, stack->store.get());
+      break;
+    case Policy::kNetworkAware:
+      stack->policy = std::make_unique<NetworkAwarePolicy>(&stack->cluster);
+      break;
+  }
+  FirmamentSchedulerOptions options;
+  options.solver.mode = mode;
+  stack->scheduler =
+      std::make_unique<FirmamentScheduler>(&stack->cluster, stack->policy.get(), options);
+  for (int r = 0; r < racks; ++r) {
+    RackId rack = stack->cluster.AddRack();
+    for (int m = 0; m < per_rack; ++m) {
+      stack->scheduler->AddMachine(rack, MachineSpec{.slots = slots});
+    }
+  }
+  return stack;
+}
+
+void VerifyInvariants(Stack* stack, const char* context) {
+  // Capacity: no machine over its slots.
+  for (const MachineDescriptor& machine : stack->cluster.machines()) {
+    if (machine.alive) {
+      EXPECT_LE(machine.running_tasks, machine.spec.slots) << context;
+    }
+  }
+  // Running tasks point at alive machines; waiting tasks at none.
+  for (TaskId task : stack->cluster.LiveTasks()) {
+    const TaskDescriptor& desc = stack->cluster.task(task);
+    if (desc.state == TaskState::kRunning) {
+      EXPECT_TRUE(stack->cluster.machine(desc.machine).alive) << context;
+    } else {
+      EXPECT_EQ(desc.machine, kInvalidMachineId) << context;
+    }
+  }
+  // The solved flow passes the §4 conditions.
+  CheckResult check = CheckOptimality(*stack->scheduler->graph_manager().network());
+  EXPECT_TRUE(check.ok()) << context << ": " << check.message;
+  // The manager's bookkeeping agrees with the graph (CHECKs on violation).
+  EXPECT_GT(stack->scheduler->graph_manager().ValidateIntegrity(), 0u) << context;
+}
+
+struct PolicyParam {
+  Policy policy;
+  SolverMode mode;
+  const char* name;
+};
+
+class PolicySweepTest : public ::testing::TestWithParam<PolicyParam> {};
+
+TEST_P(PolicySweepTest, EventSequencePreservesInvariants) {
+  const PolicyParam& param = GetParam();
+  auto stack = MakeStack(param.policy, 2, 6, 3, param.mode);
+  Rng rng(1234);
+  SimTime now = 0;
+
+  for (int round = 0; round < 12; ++round) {
+    now += kSec;
+    // Random event mix.
+    double choice = rng.NextDouble();
+    if (choice < 0.5) {
+      int tasks = static_cast<int>(rng.NextInt(1, 8));
+      std::vector<TaskDescriptor> descriptors(static_cast<size_t>(tasks));
+      for (TaskDescriptor& task : descriptors) {
+        task.runtime = 30 * kSec;
+        task.bandwidth_request_mbps = rng.NextInt(100, 800);
+        if (stack->store != nullptr) {
+          task.input_size_bytes = rng.NextInt(250'000'000, 2'000'000'000);
+          task.input_blocks = stack->store->AllocateInput(task.input_size_bytes);
+        }
+      }
+      stack->scheduler->SubmitJob(rng.NextBool(0.3) ? JobType::kService : JobType::kBatch,
+                                  static_cast<int32_t>(rng.NextInt(0, 2)),
+                                  std::move(descriptors), now);
+    } else if (choice < 0.8) {
+      // Complete up to 3 running tasks.
+      std::vector<TaskId> running;
+      for (TaskId task : stack->cluster.LiveTasks()) {
+        if (stack->cluster.task(task).state == TaskState::kRunning) {
+          running.push_back(task);
+        }
+      }
+      for (int i = 0; i < 3 && !running.empty(); ++i) {
+        size_t idx = rng.NextUint64(running.size());
+        stack->scheduler->CompleteTask(running[idx], now);
+        running[idx] = running.back();
+        running.pop_back();
+      }
+    }
+    stack->scheduler->RunSchedulingRound(now);
+    VerifyInvariants(stack.get(), param.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicySweepTest,
+    ::testing::Values(
+        PolicyParam{Policy::kLoadSpreading, SolverMode::kRace, "load_spreading/race"},
+        PolicyParam{Policy::kLoadSpreading, SolverMode::kCostScalingOnly, "load_spreading/cs"},
+        PolicyParam{Policy::kQuincy, SolverMode::kRace, "quincy/race"},
+        PolicyParam{Policy::kQuincy, SolverMode::kRelaxationOnly, "quincy/relax"},
+        PolicyParam{Policy::kQuincyWithLocality, SolverMode::kRace, "quincy_locality/race"},
+        PolicyParam{Policy::kQuincyWithLocality, SolverMode::kCostScalingScratch,
+                    "quincy_locality/scratch"},
+        PolicyParam{Policy::kNetworkAware, SolverMode::kRace, "network_aware/race"},
+        PolicyParam{Policy::kNetworkAware, SolverMode::kCostScalingOnly, "network_aware/cs"}));
+
+// ---------------------------------------------------------------------------
+// Machine failures mid-workload for each policy.
+// ---------------------------------------------------------------------------
+
+class FailureSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FailureSweepTest, MachineFailuresRescheduleEverything) {
+  auto stack = MakeStack(static_cast<Policy>(GetParam()), 2, 5, 4);
+  std::vector<TaskDescriptor> tasks(20);
+  for (TaskDescriptor& task : tasks) {
+    task.runtime = 100 * kSec;
+    task.bandwidth_request_mbps = 200;
+  }
+  stack->scheduler->SubmitJob(JobType::kBatch, 0, std::move(tasks), 0);
+  stack->scheduler->RunSchedulingRound(kSec);
+  EXPECT_EQ(stack->cluster.UsedSlots(), 20);
+
+  // Fail three machines in sequence; capacity stays sufficient (7 x 4 = 28).
+  SimTime now = kSec;
+  for (MachineId victim = 0; victim < 3; ++victim) {
+    now += kSec;
+    if (stack->store != nullptr) {
+      stack->store->OnMachineRemoved(victim);
+    }
+    stack->scheduler->RemoveMachine(victim, now);
+    stack->scheduler->RunSchedulingRound(now + kSec / 2);
+    VerifyInvariants(stack.get(), "failure sweep");
+  }
+  EXPECT_EQ(stack->cluster.UsedSlots(), 20);  // everything re-placed
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, FailureSweepTest, ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// Wait-cost growth eventually schedules starving tasks (no permanent
+// starvation while capacity exists).
+// ---------------------------------------------------------------------------
+
+TEST(StarvationTest, WaitingTasksWinPlacementWhenSlotsFree) {
+  auto stack = MakeStack(Policy::kQuincy, 1, 2, 1);
+  stack->scheduler->SubmitJob(JobType::kBatch, 0,
+                              std::vector<TaskDescriptor>(4, TaskDescriptor{}), 0);
+  stack->scheduler->RunSchedulingRound(kSec);
+  EXPECT_EQ(stack->cluster.UsedSlots(), 2);
+  // Complete both running tasks; the two waiting ones must take over.
+  SimTime now = 2 * kSec;
+  for (TaskId task : stack->cluster.LiveTasks()) {
+    if (stack->cluster.task(task).state == TaskState::kRunning) {
+      stack->scheduler->CompleteTask(task, now);
+    }
+  }
+  stack->scheduler->RunSchedulingRound(3 * kSec);
+  EXPECT_EQ(stack->cluster.UsedSlots(), 2);
+  for (TaskId task : stack->cluster.LiveTasks()) {
+    EXPECT_EQ(stack->cluster.task(task).state, TaskState::kRunning);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator accounting.
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorAccountingTest, PlacedEqualsCompletedPlusRunningAtEnd) {
+  auto stack = MakeStack(Policy::kQuincy, 1, 8, 4);
+  TraceGeneratorParams trace;
+  trace.num_machines = 8;
+  trace.slots_per_machine = 4;
+  trace.tasks_per_machine = 2.5;
+  trace.batch_runtime_log_mean = 2.0;
+  trace.batch_runtime_log_sigma = 0.4;
+  trace.max_job_tasks = 10;
+  trace.seed = 5;
+  TraceGenerator generator(trace);
+  SimulatorParams params;
+  params.duration = 90 * kSec;
+  ClusterSimulator sim(stack->scheduler.get(), &stack->cluster, nullptr, params);
+  sim.LoadTrace(generator.Generate(params.duration));
+  SimulationMetrics metrics = sim.Run();
+
+  size_t running = 0;
+  for (TaskId task : stack->cluster.LiveTasks()) {
+    if (stack->cluster.task(task).state == TaskState::kRunning) {
+      ++running;
+    }
+  }
+  // Every placement either completed, is still running, or was re-placed
+  // after preemption/migration; with counts, placed = completed + running
+  // + (re-placements of evicted tasks). Signed arithmetic: the correction
+  // terms can exceed the base counts.
+  EXPECT_GE(static_cast<int64_t>(metrics.tasks_placed),
+            static_cast<int64_t>(metrics.tasks_completed) + static_cast<int64_t>(running) -
+                static_cast<int64_t>(metrics.tasks_preempted) -
+                static_cast<int64_t>(metrics.tasks_migrated));
+  EXPECT_GT(metrics.tasks_completed, 0u);
+  EXPECT_EQ(metrics.batch_task_response_seconds.count(), metrics.tasks_completed);
+}
+
+TEST(SimulatorAccountingTest, MinRoundIntervalBatchesRounds) {
+  auto run_with_interval = [](SimTime interval) {
+    auto stack = MakeStack(Policy::kLoadSpreading, 1, 6, 4);
+    TraceGeneratorParams trace;
+    trace.num_machines = 6;
+    trace.slots_per_machine = 4;
+    trace.tasks_per_machine = 2.0;
+    trace.batch_runtime_log_mean = 1.5;
+    trace.batch_runtime_log_sigma = 0.3;
+    trace.max_job_tasks = 5;
+    trace.seed = 9;
+    TraceGenerator generator(trace);
+    SimulatorParams params;
+    params.duration = 60 * kSec;
+    params.min_round_interval = interval;
+    ClusterSimulator sim(stack->scheduler.get(), &stack->cluster, nullptr, params);
+    sim.LoadTrace(generator.Generate(params.duration));
+    return sim.Run().rounds;
+  };
+  size_t fine = run_with_interval(1000);          // 1 ms
+  size_t coarse = run_with_interval(5 * kSec);    // 5 s
+  EXPECT_GT(fine, coarse);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics utilities used by every experiment.
+// ---------------------------------------------------------------------------
+
+TEST(DistributionTest, PercentilesAndCdf) {
+  Distribution dist;
+  for (int i = 1; i <= 100; ++i) {
+    dist.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(dist.Min(), 1);
+  EXPECT_DOUBLE_EQ(dist.Max(), 100);
+  EXPECT_NEAR(dist.Median(), 50.5, 0.01);
+  EXPECT_NEAR(dist.Percentile(0.99), 99.01, 0.01);
+  EXPECT_NEAR(dist.Mean(), 50.5, 0.01);
+  EXPECT_NEAR(dist.CdfAt(50), 0.5, 0.01);
+  EXPECT_EQ(dist.CdfAt(0.5), 0.0);
+  EXPECT_EQ(dist.CdfAt(1000), 1.0);
+  EXPECT_FALSE(dist.BoxStats().empty());
+  EXPECT_FALSE(FormatCdf(dist, 4).empty());
+}
+
+TEST(DistributionTest, SingleSampleAndClear) {
+  Distribution dist;
+  dist.Add(7.0);
+  EXPECT_DOUBLE_EQ(dist.Median(), 7.0);
+  EXPECT_DOUBLE_EQ(dist.Percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(dist.Percentile(1.0), 7.0);
+  dist.Clear();
+  EXPECT_TRUE(dist.empty());
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.NextUint64(10);
+    EXPECT_LT(v, 10u);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    int64_t x = r.NextInt(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+    double pareto = r.NextBoundedPareto(1.0, 100.0, 0.5);
+    EXPECT_GE(pareto, 1.0);
+    EXPECT_LE(pareto, 100.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace firmament
