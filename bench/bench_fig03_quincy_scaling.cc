@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig03_quincy_scaling");
   benchmark::Shutdown();
   return 0;
 }

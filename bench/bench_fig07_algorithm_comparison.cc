@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
           ->Unit(benchmark::kMillisecond);
     }
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig07_algorithm_comparison");
   benchmark::Shutdown();
   return 0;
 }

@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig08_oversubscription");
   std::printf("\nFigure 8 series (slot demand %% -> runtime):\n");
   std::printf("%12s %16s %16s\n", "demand[%]", "relaxation[s]", "cost_scaling[s]");
   for (const auto& point : firmament::g_points) {

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig09_large_jobs");
   std::printf("\nFigure 9 series (arriving job size -> runtime):\n");
   std::printf("%12s %16s %16s\n", "job[tasks]", "relaxation[s]", "cost_scaling[s]");
   for (const auto& point : firmament::g_points) {

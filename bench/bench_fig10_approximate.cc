@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
       ->Iterations(1)
       ->UseManualTime()
       ->Unit(benchmark::kMillisecond);
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig10_approximate");
   std::printf("\nFigure 10 series (termination time -> misplaced tasks):\n");
   std::printf("%-14s %14s %10s %12s\n", "algorithm", "budget[s]", "fraction", "misplaced");
   for (const auto& point : firmament::g_points) {

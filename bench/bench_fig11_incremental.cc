@@ -18,6 +18,8 @@ struct Row {
   const char* policy;
   double scratch_s;
   double incremental_s;
+  double scratch_iters;
+  double incremental_iters;
 };
 std::vector<Row> g_rows;
 
@@ -35,20 +37,28 @@ void Incremental(benchmark::State& state) {
 
   Distribution incremental;
   Distribution scratch;
+  Distribution incremental_iters;
+  Distribution scratch_iters;
   for (auto _ : state) {
     env.Churn(machines / 8, machines / 8, now);
     now += kMicrosPerSecond;
     SchedulerRoundResult result = env.scheduler().RunSchedulingRound(now);
     incremental.Add(static_cast<double>(result.algorithm_runtime_us) / 1e6);
+    incremental_iters.Add(static_cast<double>(result.solver_stats.iterations));
     FlowNetwork copy = *env.network();
     CostScaling scratch_solver;
-    scratch.Add(static_cast<double>(scratch_solver.Solve(&copy).runtime_us) / 1e6);
+    SolveStats scratch_stats = scratch_solver.Solve(&copy);
+    scratch.Add(static_cast<double>(scratch_stats.runtime_us) / 1e6);
+    scratch_iters.Add(static_cast<double>(scratch_stats.iterations));
     state.SetIterationTime(static_cast<double>(result.algorithm_runtime_us) / 1e6);
   }
   state.counters["incremental_mean_s"] = incremental.Mean();
   state.counters["scratch_mean_s"] = scratch.Mean();
   state.counters["speedup_pct"] = 100.0 * (1.0 - incremental.Mean() / scratch.Mean());
-  g_rows.push_back({quincy ? "quincy" : "load_spreading", scratch.Mean(), incremental.Mean()});
+  state.counters["incremental_iters"] = incremental_iters.Mean();
+  state.counters["scratch_iters"] = scratch_iters.Mean();
+  g_rows.push_back({quincy ? "quincy" : "load_spreading", scratch.Mean(), incremental.Mean(),
+                    scratch_iters.Mean(), incremental_iters.Mean()});
 }
 
 }  // namespace
@@ -70,12 +80,14 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig11_incremental");
   std::printf("\nFigure 11 summary:\n");
-  std::printf("%-20s %14s %16s %10s\n", "policy", "scratch[s]", "incremental[s]", "faster");
+  std::printf("%-20s %14s %16s %10s %14s %14s\n", "policy", "scratch[s]", "incremental[s]",
+              "faster", "scratch[it]", "incr[it]");
   for (const auto& row : firmament::g_rows) {
-    std::printf("%-20s %14.4f %16.4f %9.1f%%\n", row.policy, row.scratch_s, row.incremental_s,
-                100.0 * (1.0 - row.incremental_s / row.scratch_s));
+    std::printf("%-20s %14.4f %16.4f %9.1f%% %14.0f %14.0f\n", row.policy, row.scratch_s,
+                row.incremental_s, 100.0 * (1.0 - row.incremental_s / row.scratch_s),
+                row.scratch_iters, row.incremental_iters);
   }
   benchmark::Shutdown();
   return 0;

@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig12_heuristics");
   std::printf("\nFigure 12 summary:\n");
   std::printf("  (a) relaxation:        no AP %.4fs -> AP %.4fs (%.1f%% reduction)\n",
               firmament::g_ap_off_s, firmament::g_ap_on_s,

@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig13_price_refine");
   std::printf("\nFigure 13 CDF of incremental cost scaling runtimes [s]:\n");
   std::printf("-- with price refine --\n%s",
               firmament::FormatCdf(firmament::g_with_refine, 10).c_str());

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig14_placement_latency");
   if (!firmament::g_firmament.empty() && !firmament::g_quincy.empty()) {
     std::printf("\nFigure 14 placement latency CDFs [s]:\n-- Firmament --\n%s",
                 firmament::FormatCdf(firmament::g_firmament, 10).c_str());

@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig15_locality_threshold");
   std::printf("\nFigure 15 / Table 15b summary:\n");
   std::printf("%12s %12s %18s %18s %16s %14s\n", "threshold", "arcs", "Firmament(relax)[s]",
               "Quincy(cs)[s]", "machine-local[%]", "rack-local[%]");

@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig16_demanding");
   std::printf("\nFigure 16 time series (sim time [s] -> solver runtime [s], downsampled):\n");
   for (int mode : {0, 1, 2}) {
     std::printf("-- %s (max round %.3fs, total solve %.3fs) --\n", firmament::ModeName(mode),

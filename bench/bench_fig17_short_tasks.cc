@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
           ->Unit(benchmark::kMillisecond);
     }
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig17_short_tasks");
   std::printf("\nFigure 17 series (ideal = task duration):\n");
   std::printf("%10s %16s %20s %20s\n", "machines", "duration[s]", "job_response_p50[s]",
               "job_response_p99[s]");

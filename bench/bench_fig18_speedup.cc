@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
           ->Unit(benchmark::kMillisecond);
     }
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig18_speedup");
   std::printf("\nFigure 18 series (placement latency percentiles per speedup):\n");
   std::printf("%-18s %10s %12s %12s %12s\n", "config", "speedup", "p50[s]", "p99[s]", "max[s]");
   for (const auto& point : firmament::g_points) {

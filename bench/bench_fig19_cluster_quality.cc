@@ -299,7 +299,7 @@ int main(int argc, char** argv) {
           ->Unit(benchmark::kMillisecond);
     }
   }
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("fig19_cluster_quality");
   std::printf("\nFigure 19 summary (task response time):\n");
   std::printf("%-14s %-12s %10s %10s\n", "scheduler", "network", "p50[s]", "p99[s]");
   double firmament_p99[2] = {0, 0};

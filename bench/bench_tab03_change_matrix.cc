@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
       ->Iterations(1)
       ->UseManualTime()
       ->Unit(benchmark::kMillisecond);
-  benchmark::RunSpecifiedBenchmarks();
+  firmament::bench::RunBenchmarksWithJson("tab03_change_matrix");
   benchmark::Shutdown();
   return 0;
 }

@@ -167,6 +167,57 @@ inline void ReportDistribution(benchmark::State& state, const Distribution& dist
   state.counters["mean_s"] = dist.Mean();
 }
 
+// Console reporter that also captures every run and, at exit, writes them as
+// machine-readable JSON (BENCH_<figure>.json in the working directory) so
+// successive commits have a perf trajectory to diff against.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      captured_.push_back(run);
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"scale\": \"%s\",\n  \"benchmarks\": [\n", FullScale() ? "full" : "small");
+    for (size_t i = 0; i < captured_.size(); ++i) {
+      const Run& run = captured_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"iterations\": %lld, \"real_time\": %.6g, "
+                   "\"cpu_time\": %.6g, \"time_unit\": \"%s\"",
+                   run.benchmark_name().c_str(), static_cast<long long>(run.iterations),
+                   run.GetAdjustedRealTime(), run.GetAdjustedCPUTime(),
+                   benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [name, counter] : run.counters) {
+        std::fprintf(f, ", \"%s\": %.6g", name.c_str(), static_cast<double>(counter.value));
+      }
+      std::fprintf(f, "}%s\n", i + 1 < captured_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  std::vector<Run> captured_;
+};
+
+// Drop-in replacement for benchmark::RunSpecifiedBenchmarks() that tees
+// results into BENCH_<figure>.json.
+inline size_t RunBenchmarksWithJson(const char* figure) {
+  JsonTeeReporter reporter(std::string("BENCH_") + figure + ".json");
+  return benchmark::RunSpecifiedBenchmarks(&reporter);
+}
+
 }  // namespace bench
 }  // namespace firmament
 

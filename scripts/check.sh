@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification (configure + build + ctest) plus a
+# reduced-size smoke run of one benchmark so solver perf regressions that
+# only show up in the bench harness still fail fast.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+# Smoke: smallest fig07 sizes across the fast algorithms (small-scale mode is
+# the default; the filter keeps the run to a few seconds).
+./build/bench_fig07_algorithm_comparison \
+  --benchmark_filter='fig07/(cost_scaling_a2|relaxation)/(50|150)/'
+
+echo "check.sh: OK"

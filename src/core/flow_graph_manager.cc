@@ -259,12 +259,17 @@ void FlowGraphManager::UpdateRound(SimTime now) {
   cluster_->RefreshStatistics();
   policy_->BeginRound(now);
 
-  // Pass 2: let the policy rewrite the graph.
+  // Pass 2: let the policy rewrite the graph. The mutations recorded here
+  // are the last writes before the solver snapshots the network into its
+  // CSR FlowNetworkView, so this loop is the producer side of the
+  // solve-time contract: arc ids handed to DiffArcs stay stable, and the
+  // view's writeback targets them by id.
   for (auto& [machine, arc] : machine_sink_arc_) {
     network_.SetArcCapacity(arc, cluster_->machine(machine).spec.slots);
   }
   // Deterministic iteration order keeps solver behaviour reproducible.
-  std::vector<TaskId> tasks;
+  std::vector<TaskId>& tasks = scratch_tasks_;
+  tasks.clear();
   tasks.reserve(task_info_.size());
   for (const auto& [task_id, info] : task_info_) {
     tasks.push_back(task_id);
@@ -278,7 +283,8 @@ void FlowGraphManager::UpdateRound(SimTime now) {
     policy_->TaskArcs(task, now, &scratch_specs_);
     DiffArcs(info.node, scratch_specs_, &info.arcs);
   }
-  std::vector<std::string> agg_keys;
+  std::vector<std::string>& agg_keys = scratch_agg_keys_;
+  agg_keys.clear();
   agg_keys.reserve(aggregators_.size());
   for (const auto& [key, info] : aggregators_) {
     agg_keys.push_back(key);

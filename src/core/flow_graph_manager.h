@@ -129,6 +129,8 @@ class FlowGraphManager {
   std::unordered_map<NodeId, std::string> node_to_aggregator_;
 
   std::vector<ArcSpec> scratch_specs_;
+  std::vector<TaskId> scratch_tasks_;
+  std::vector<std::string> scratch_agg_keys_;
 };
 
 }  // namespace firmament

@@ -1,0 +1,129 @@
+#include "src/flow/flow_network_view.h"
+
+#include <algorithm>
+
+namespace firmament {
+
+FlowNetworkView::FlowNetworkView(const FlowNetwork& net) {
+  orig_node_capacity_ = net.NodeCapacity();
+
+  // Dense node numbering in increasing original-id order: scheduling graphs
+  // allocate sink / aggregators / machines / tasks in cohorts, so sorting
+  // keeps same-kind nodes adjacent in the dense space.
+  orig_node_ = net.ValidNodes();
+  std::sort(orig_node_.begin(), orig_node_.end());
+  const uint32_t n = static_cast<uint32_t>(orig_node_.size());
+  dense_node_.assign(orig_node_capacity_, kInvalidDense);
+  supply_.resize(n);
+  kind_.resize(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    NodeId orig = orig_node_[v];
+    dense_node_[orig] = v;
+    supply_[v] = net.Supply(orig);
+    kind_[v] = net.Kind(orig);
+  }
+
+  // Dense arcs in increasing original-id order.
+  const ArcId arc_bound = net.ArcCapacityBound();
+  const uint32_t m = static_cast<uint32_t>(net.NumArcs());
+  orig_arc_.reserve(m);
+  src_.reserve(m);
+  dst_.reserve(m);
+  capacity_.reserve(m);
+  cost_.reserve(m);
+  flow_.reserve(m);
+  first_out_.assign(n + 1, 0);
+  for (ArcId arc = 0; arc < arc_bound; ++arc) {
+    if (!net.IsValidArc(arc)) {
+      continue;
+    }
+    uint32_t s = dense_node_[net.Src(arc)];
+    uint32_t d = dense_node_[net.Dst(arc)];
+    DCHECK_NE(s, kInvalidDense);
+    DCHECK_NE(d, kInvalidDense);
+    orig_arc_.push_back(arc);
+    src_.push_back(s);
+    dst_.push_back(d);
+    capacity_.push_back(net.Capacity(arc));
+    cost_.push_back(net.Cost(arc));
+    flow_.push_back(net.Flow(arc));
+    ++first_out_[s + 1];
+    ++first_out_[d + 1];
+  }
+
+  // CSR fill: prefix-sum the degrees, then scatter the residual refs. Within
+  // a node the refs land in increasing dense-arc order, which is
+  // deterministic.
+  for (uint32_t v = 0; v < n; ++v) {
+    first_out_[v + 1] += first_out_[v];
+  }
+  adj_.resize(2 * static_cast<size_t>(num_arcs()));
+  std::vector<uint32_t> cursor(first_out_.begin(), first_out_.end() - 1);
+  for (uint32_t a = 0; a < num_arcs(); ++a) {
+    adj_[cursor[src_[a]]++] = MakeRef(a, /*reverse=*/false);
+    adj_[cursor[dst_[a]]++] = MakeRef(a, /*reverse=*/true);
+  }
+}
+
+void FlowNetworkView::BuildResidualStar(int64_t cost_multiplier,
+                                        std::vector<ResidualEntry>* star) const {
+  star->resize(2 * static_cast<size_t>(num_arcs()));
+  for (uint32_t a = 0; a < num_arcs(); ++a) {
+    (*star)[MakeRef(a, false)] = {capacity_[a] - flow_[a], cost_[a] * cost_multiplier, dst_[a], a};
+    (*star)[MakeRef(a, true)] = {flow_[a], -cost_[a] * cost_multiplier, src_[a], a};
+  }
+}
+
+void FlowNetworkView::SyncFlowFromStar(const std::vector<ResidualEntry>& star) {
+  CHECK_EQ(star.size(), 2 * static_cast<size_t>(num_arcs()));
+  for (uint32_t a = 0; a < num_arcs(); ++a) {
+    flow_[a] = star[MakeRef(a, true)].residual;
+  }
+}
+
+void FlowNetworkView::ComputeExcess(std::vector<int64_t>* excess) const {
+  excess->assign(num_nodes(), 0);
+  for (uint32_t v = 0; v < num_nodes(); ++v) {
+    (*excess)[v] = supply_[v];
+  }
+  for (uint32_t a = 0; a < num_arcs(); ++a) {
+    (*excess)[src_[a]] -= flow_[a];
+    (*excess)[dst_[a]] += flow_[a];
+  }
+}
+
+int64_t FlowNetworkView::TotalCost() const {
+  int64_t total = 0;
+  for (uint32_t a = 0; a < num_arcs(); ++a) {
+    total += cost_[a] * flow_[a];
+  }
+  return total;
+}
+
+void FlowNetworkView::WriteBackFlow(FlowNetwork* net) const {
+  for (uint32_t a = 0; a < num_arcs(); ++a) {
+    net->SetFlow(orig_arc_[a], flow_[a]);
+  }
+}
+
+void FlowNetworkView::GatherPotentials(const std::vector<int64_t>& by_orig,
+                                       std::vector<int64_t>* dense) const {
+  dense->assign(num_nodes(), 0);
+  for (uint32_t v = 0; v < num_nodes(); ++v) {
+    NodeId orig = orig_node_[v];
+    if (orig < by_orig.size()) {
+      (*dense)[v] = by_orig[orig];
+    }
+  }
+}
+
+void FlowNetworkView::ScatterPotentials(const std::vector<int64_t>& dense,
+                                        std::vector<int64_t>* by_orig) const {
+  CHECK_EQ(dense.size(), num_nodes());
+  by_orig->assign(orig_node_capacity_, 0);
+  for (uint32_t v = 0; v < num_nodes(); ++v) {
+    (*by_orig)[orig_node_[v]] = dense[v];
+  }
+}
+
+}  // namespace firmament

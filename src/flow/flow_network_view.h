@@ -1,0 +1,185 @@
+// Compact solve-time snapshot of a FlowNetwork (CSR / forward-star layout).
+//
+// The mutable FlowNetwork is optimized for O(1) incremental edits: stable
+// ids with free-list recycling, per-node std::vector adjacency, and
+// validity flags. That layout is exactly wrong for the solver hot loops,
+// which scan every arc many times per solve: validity branches pollute the
+// branch predictor, id holes waste cache lines, and vector<ArcRef>
+// adjacency chases one heap allocation per node.
+//
+// FlowNetworkView is built once per Solve() in O(n + m):
+//  * Dense node renumbering: valid nodes are packed into [0, n) in
+//    increasing original-id order, so node-indexed solver state is
+//    contiguous and branch-free.
+//  * Struct-of-arrays arc storage: src / dst / capacity / cost / flow live
+//    in separate contiguous vectors, so loops that only touch one or two
+//    attributes (e.g. the reduced-cost scan) stream at full cache-line
+//    utilization.
+//  * CSR adjacency: the residual refs incident to node v occupy the slice
+//    adj()[first_out(v) .. first_out(v+1)), one flat array for the whole
+//    graph.
+//  * Writeback map: orig_arc(a) gives the original ArcId, so the solved
+//    flow can be installed back into the FlowNetwork.
+//
+// Residual arcs use the same (arc << 1) | is_reverse encoding as
+// FlowNetwork::ArcRef, but over dense arc indices.
+//
+// Warm-start contract: solvers retain potentials keyed by *original*
+// NodeId, which survive arbitrary renumbering between rounds.
+// GatherPotentials / ScatterPotentials translate between that stable keying
+// and the view's dense indices at the solve boundary.
+
+#ifndef SRC_FLOW_FLOW_NETWORK_VIEW_H_
+#define SRC_FLOW_FLOW_NETWORK_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/flow/graph.h"
+
+namespace firmament {
+
+class FlowNetworkView {
+ public:
+  // Snapshots the current structure, costs, capacities, and flow of `net`.
+  explicit FlowNetworkView(const FlowNetwork& net);
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(supply_.size()); }
+  uint32_t num_arcs() const { return static_cast<uint32_t>(src_.size()); }
+
+  // --- Node accessors (dense index in [0, num_nodes())) -------------------
+  int64_t Supply(uint32_t v) const { return supply_[v]; }
+  NodeKind Kind(uint32_t v) const { return kind_[v]; }
+
+  // --- Arc accessors (dense index in [0, num_arcs())) ---------------------
+  uint32_t Src(uint32_t a) const { return src_[a]; }
+  uint32_t Dst(uint32_t a) const { return dst_[a]; }
+  int64_t Capacity(uint32_t a) const { return capacity_[a]; }
+  int64_t Cost(uint32_t a) const { return cost_[a]; }
+  int64_t Flow(uint32_t a) const { return flow_[a]; }
+  void SetFlow(uint32_t a, int64_t flow) {
+    DCHECK_GE(flow, 0);
+    DCHECK_LE(flow, capacity_[a]);
+    flow_[a] = flow;
+  }
+
+  // --- Residual refs (dense arc << 1 | is_reverse) ------------------------
+  static uint32_t MakeRef(uint32_t arc, bool reverse) {
+    return (arc << 1) | static_cast<uint32_t>(reverse);
+  }
+  static uint32_t RefArc(uint32_t ref) { return ref >> 1; }
+  static bool RefIsReverse(uint32_t ref) { return (ref & 1u) != 0; }
+  static uint32_t RefReversed(uint32_t ref) { return ref ^ 1u; }
+
+  uint32_t RefSrc(uint32_t ref) const {
+    uint32_t a = RefArc(ref);
+    return RefIsReverse(ref) ? dst_[a] : src_[a];
+  }
+  uint32_t RefDst(uint32_t ref) const {
+    uint32_t a = RefArc(ref);
+    return RefIsReverse(ref) ? src_[a] : dst_[a];
+  }
+  int64_t RefResidual(uint32_t ref) const {
+    uint32_t a = RefArc(ref);
+    return RefIsReverse(ref) ? flow_[a] : capacity_[a] - flow_[a];
+  }
+  int64_t RefCost(uint32_t ref) const {
+    uint32_t a = RefArc(ref);
+    return RefIsReverse(ref) ? -cost_[a] : cost_[a];
+  }
+  void RefPush(uint32_t ref, int64_t amount) {
+    uint32_t a = RefArc(ref);
+    flow_[a] += RefIsReverse(ref) ? -amount : amount;
+    DCHECK_GE(flow_[a], 0);
+    DCHECK_LE(flow_[a], capacity_[a]);
+  }
+
+  // --- CSR adjacency ------------------------------------------------------
+  // Residual refs leaving/entering v: adj()[first_out(v) .. first_out(v+1)).
+  uint32_t first_out(uint32_t v) const { return first_out_[v]; }
+  const uint32_t* adj() const { return adj_.data(); }
+  const uint32_t* AdjBegin(uint32_t v) const { return adj_.data() + first_out_[v]; }
+  const uint32_t* AdjEnd(uint32_t v) const { return adj_.data() + first_out_[v + 1]; }
+  uint32_t Degree(uint32_t v) const { return first_out_[v + 1] - first_out_[v]; }
+
+  // --- Mapping to/from the original graph ---------------------------------
+  NodeId OrigNode(uint32_t v) const { return orig_node_[v]; }
+  ArcId OrigArc(uint32_t a) const { return orig_arc_[a]; }
+  ArcRef OrigRef(uint32_t ref) const {
+    return FlowNetwork::MakeRef(orig_arc_[RefArc(ref)], RefIsReverse(ref));
+  }
+  // Dense index of an original node id; kInvalidDense if not in the view.
+  static constexpr uint32_t kInvalidDense = 0xffffffffu;
+  // Sentinel for "no dense residual ref" (parent pointers and the like).
+  static constexpr uint32_t kInvalidRef = 0xffffffffu;
+  uint32_t DenseNode(NodeId node) const {
+    return node < dense_node_.size() ? dense_node_[node] : kInvalidDense;
+  }
+  // NodeCapacity() of the source network at snapshot time (sizing for
+  // original-id-keyed vectors).
+  NodeId orig_node_capacity() const { return orig_node_capacity_; }
+
+  // --- Flow-level helpers -------------------------------------------------
+  void ClearFlow() { std::fill(flow_.begin(), flow_.end(), 0); }
+  int64_t TotalCost() const;
+  // excess[v] = supply(v) + inflow(v) - outflow(v), one SoA sweep.
+  void ComputeExcess(std::vector<int64_t>* excess) const;
+  // Installs this view's flow into the original network's arcs.
+  void WriteBackFlow(FlowNetwork* net) const;
+
+  // --- Packed residual star -------------------------------------------------
+  // One entry per residual ref, sized/aligned so that both directions of an
+  // arc share a single cache line. Solver hot loops probe residual, cost,
+  // and head together; packing them turns up to four random SoA loads per
+  // probe into one line fetch. Costs are multiplied by `cost_multiplier`
+  // (cost scaling passes its scale factor; others pass 1).
+  struct alignas(32) ResidualEntry {
+    int64_t residual;  // remaining capacity in this direction
+    int64_t cost;      // per-unit cost in this direction (negated for reverse)
+    uint32_t head;     // dense node this direction leads to
+    uint32_t arc;      // dense arc index (for writeback / bookkeeping)
+  };
+  static_assert(sizeof(ResidualEntry) == 32, "two entries per cache line");
+
+  // Fills star[ref] for every residual ref from the current flow.
+  void BuildResidualStar(int64_t cost_multiplier, std::vector<ResidualEntry>* star) const;
+  // Installs the star's residuals back into this view's flow array
+  // (flow(a) = star[reverse ref].residual).
+  void SyncFlowFromStar(const std::vector<ResidualEntry>& star);
+
+  // --- Warm-start potential translation ------------------------------------
+  // dense[v] = by_orig[OrigNode(v)] (0 where by_orig is too short).
+  void GatherPotentials(const std::vector<int64_t>& by_orig,
+                        std::vector<int64_t>* dense) const;
+  // by_orig is resized to orig_node_capacity(), zero-filled, then
+  // by_orig[OrigNode(v)] = dense[v].
+  void ScatterPotentials(const std::vector<int64_t>& dense,
+                         std::vector<int64_t>* by_orig) const;
+
+ private:
+  // SoA arc storage.
+  std::vector<uint32_t> src_;
+  std::vector<uint32_t> dst_;
+  std::vector<int64_t> capacity_;
+  std::vector<int64_t> cost_;
+  std::vector<int64_t> flow_;
+
+  // Node attributes.
+  std::vector<int64_t> supply_;
+  std::vector<NodeKind> kind_;
+
+  // CSR adjacency of residual refs.
+  std::vector<uint32_t> first_out_;  // size num_nodes() + 1
+  std::vector<uint32_t> adj_;        // size 2 * num_arcs()
+
+  // Renumbering maps.
+  std::vector<NodeId> orig_node_;    // dense -> original
+  std::vector<uint32_t> dense_node_;  // original -> dense (or kInvalidDense)
+  std::vector<ArcId> orig_arc_;      // dense -> original
+  NodeId orig_node_capacity_ = 0;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_FLOW_FLOW_NETWORK_VIEW_H_

@@ -8,6 +8,21 @@
 // current flow and this instance's potentials from the previous round; the
 // starting ε then only needs to cover the costliest graph change (§6.2)
 // rather than the costliest arc.
+//
+// Each Solve() runs on a FlowNetworkView — a dense CSR/SoA snapshot of the
+// network — and installs the resulting flow back into the FlowNetwork.
+// Retained potentials are keyed by original NodeId, so warm starts survive
+// the per-solve renumbering (§5.2, Fig. 11).
+//
+// Two Goldberg-style heuristics [17] accelerate Refine:
+//  * Global price update: when discharging stalls (many relabels without
+//    draining the active set), a Dial-bucket shortest-path pass from the
+//    deficit nodes reprices every node at once, replacing thousands of
+//    one-ε relabels with one O(m) sweep.
+//  * Wave ordering: discharges sweep an intrusive node list kept in
+//    (approximate) topological order of the admissible network — relabeled
+//    nodes move to the front — so one pass carries excess many hops towards
+//    the deficits, instead of FIFO ping-pong.
 
 #ifndef SRC_SOLVERS_COST_SCALING_H_
 #define SRC_SOLVERS_COST_SCALING_H_
@@ -15,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/flow/flow_network_view.h"
 #include "src/solvers/mcmf_solver.h"
 
 namespace firmament {
@@ -30,6 +46,14 @@ struct CostScalingOptions {
   // return the current feasible but possibly suboptimal flow
   // (SolveOutcome::kApproximate; used by the §5.1 experiment).
   uint64_t time_budget_us = 0;
+  // Goldberg heuristics [17] (exposed for ablation). The global price
+  // update is a measured win on contended/large graphs and ~free elsewhere,
+  // so it defaults on. Wave ordering (sweep in approximate topological
+  // order) reduces push/relabel counts a little but its per-pass list scans
+  // cost more than they save on the shallow scheduling DAGs Firmament
+  // produces — FIFO discharge is the measured default.
+  bool global_price_update = true;
+  bool wave_ordering = false;
 };
 
 class CostScaling : public McmfSolver {
@@ -43,9 +67,9 @@ class CostScaling : public McmfSolver {
 
   CostScalingOptions& options() { return options_; }
 
-  // Installs externally computed (unscaled) potentials to warm-start the
-  // next Solve() — used for the relaxation -> cost scaling handoff after
-  // price refine (§6.2). Takes effect once.
+  // Installs externally computed (unscaled) potentials, keyed by original
+  // NodeId, to warm-start the next Solve() — used for the relaxation ->
+  // cost scaling handoff after price refine (§6.2). Takes effect once.
   void ImportPotentials(std::vector<int64_t> unscaled_potentials);
 
   // Drops all retained state; the next Solve() runs from scratch even in
@@ -59,23 +83,41 @@ class CostScaling : public McmfSolver {
     kStuck,      // relabel bound exceeded: eps too small for this instance
                  // (warm starts escalate) or the instance is infeasible
     kNoPath,     // positive excess with no residual out-arc: infeasible
+    kBudget,     // warm-start attempt exceeded its iteration budget
   };
-  // One refine phase: makes the flow feasible and eps-optimal.
-  RefineResult Refine(FlowNetwork* net, int64_t eps, SolveStats* stats,
-                      const std::atomic<bool>* cancel);
+  // One refine phase on the view: makes the flow feasible and eps-optimal.
+  RefineResult Refine(FlowNetworkView* view, int64_t eps, SolveStats* stats,
+                      const std::atomic<bool>* cancel, bool price_update_first = false,
+                      uint64_t iteration_budget = 0);
+  // Dial-bucket shortest-path repricing from the deficit nodes (global
+  // price update heuristic [17]). Raises pi_ so that every settled active
+  // node regains an admissible path towards a deficit.
+  void GlobalPriceUpdate(const FlowNetworkView& view, int64_t eps);
 
   CostScalingOptions options_;
-  // Node potentials in the scaled cost domain (costs multiplied by scale_).
+  // Retained node potentials keyed by original NodeId, in the scaled cost
+  // domain (costs multiplied by scale_). Survive renumbering between rounds.
   std::vector<int64_t> potential_;
   int64_t scale_ = 0;  // 0 = no retained state
   std::vector<int64_t> pending_import_;
   bool has_pending_import_ = false;
 
-  // Scratch state reused across phases.
+  // Dense (view-indexed) scratch state reused across phases. star_ holds the
+  // packed residual arcs (pre-scaled costs) that every refine hot loop runs
+  // on; the view's flow array is synced from it at phase boundaries.
+  std::vector<FlowNetworkView::ResidualEntry> star_;
+  std::vector<int64_t> pi_;
   std::vector<int64_t> excess_;
   std::vector<uint32_t> cur_arc_;
   std::vector<uint32_t> relabel_count_;
   std::vector<bool> in_queue_;
+  // Wave-ordering list: node v's neighbours in the sweep order; slot
+  // num_nodes is the sentinel head.
+  std::vector<uint32_t> list_next_;
+  std::vector<uint32_t> list_prev_;
+  // Global price update scratch.
+  std::vector<uint32_t> dist_;
+  std::vector<std::vector<uint32_t>> buckets_;
 };
 
 }  // namespace firmament

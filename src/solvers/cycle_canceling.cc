@@ -6,50 +6,55 @@
 
 #include "src/base/check.h"
 #include "src/base/timer.h"
+#include "src/flow/flow_network_view.h"
 #include "src/solvers/solver_util.h"
 
 namespace firmament {
 
 namespace {
 
+constexpr uint32_t kNoRef = FlowNetworkView::kInvalidRef;
+
 // Computes a feasible flow ignoring costs: repeatedly BFS from all
 // positive-excess nodes through residual arcs to the nearest deficit node
 // and augment. Returns false if some supply cannot be routed.
-bool ComputeFeasibleFlow(FlowNetwork* network, uint64_t* augmentations) {
-  FlowNetwork& net = *network;
-  const NodeId cap = net.NodeCapacity();
-  std::vector<int64_t> excess(cap, 0);
+bool ComputeFeasibleFlow(FlowNetworkView* view_ptr, uint64_t* augmentations) {
+  FlowNetworkView& view = *view_ptr;
+  const uint32_t n = view.num_nodes();
+  std::vector<int64_t> excess(n, 0);
   int64_t total_positive = 0;
-  for (NodeId node : net.ValidNodes()) {
-    excess[node] = net.Supply(node);
-    if (excess[node] > 0) {
-      total_positive += excess[node];
+  for (uint32_t v = 0; v < n; ++v) {
+    excess[v] = view.Supply(v);
+    if (excess[v] > 0) {
+      total_positive += excess[v];
     }
   }
-  std::vector<ArcRef> parent(cap, kInvalidArcId);
-  std::vector<uint32_t> seen(cap, 0);
+  std::vector<uint32_t> parent(n, kNoRef);
+  std::vector<uint32_t> seen(n, 0);
   uint32_t version = 0;
-  std::deque<NodeId> queue;
+  std::deque<uint32_t> queue;
   while (total_positive > 0) {
     // Multi-source BFS from every node with positive excess.
     ++version;
     queue.clear();
-    for (NodeId node : net.ValidNodes()) {
-      if (excess[node] > 0) {
-        seen[node] = version;
-        parent[node] = kInvalidArcId;
-        queue.push_back(node);
+    for (uint32_t v = 0; v < n; ++v) {
+      if (excess[v] > 0) {
+        seen[v] = version;
+        parent[v] = kNoRef;
+        queue.push_back(v);
       }
     }
-    NodeId deficit_node = kInvalidNodeId;
-    while (!queue.empty() && deficit_node == kInvalidNodeId) {
-      NodeId u = queue.front();
+    uint32_t deficit_node = kNoRef;
+    while (!queue.empty() && deficit_node == kNoRef) {
+      uint32_t u = queue.front();
       queue.pop_front();
-      for (ArcRef ref : net.Adjacency(u)) {
-        if (net.RefResidual(ref) <= 0) {
+      const uint32_t* end = view.AdjEnd(u);
+      for (const uint32_t* it = view.AdjBegin(u); it != end; ++it) {
+        uint32_t ref = *it;
+        if (view.RefResidual(ref) <= 0) {
           continue;
         }
-        NodeId v = net.RefDst(ref);
+        uint32_t v = view.RefDst(ref);
         if (seen[v] == version) {
           continue;
         }
@@ -62,24 +67,24 @@ bool ComputeFeasibleFlow(FlowNetwork* network, uint64_t* augmentations) {
         queue.push_back(v);
       }
     }
-    if (deficit_node == kInvalidNodeId) {
+    if (deficit_node == kNoRef) {
       return false;
     }
     // Walk back to the BFS root, find the bottleneck, and augment.
     int64_t delta = -excess[deficit_node];
-    NodeId root = deficit_node;
-    for (NodeId v = deficit_node; parent[v] != kInvalidArcId;) {
-      ArcRef ref = parent[v];
-      delta = std::min(delta, net.RefResidual(ref));
-      v = net.RefSrc(ref);
+    uint32_t root = deficit_node;
+    for (uint32_t v = deficit_node; parent[v] != kNoRef;) {
+      uint32_t ref = parent[v];
+      delta = std::min(delta, view.RefResidual(ref));
+      v = view.RefSrc(ref);
       root = v;
     }
     delta = std::min(delta, excess[root]);
     CHECK_GT(delta, 0);
-    for (NodeId v = deficit_node; parent[v] != kInvalidArcId;) {
-      ArcRef ref = parent[v];
-      net.RefPush(ref, delta);
-      v = net.RefSrc(ref);
+    for (uint32_t v = deficit_node; parent[v] != kNoRef;) {
+      uint32_t ref = parent[v];
+      view.RefPush(ref, delta);
+      v = view.RefSrc(ref);
     }
     excess[root] -= delta;
     excess[deficit_node] += delta;
@@ -95,10 +100,10 @@ SolveStats CycleCanceling::Solve(FlowNetwork* network, const std::atomic<bool>* 
   WallTimer timer;
   SolveStats stats;
   stats.algorithm = name();
-  FlowNetwork& net = *network;
-  net.ClearFlow();
+  FlowNetworkView view(*network);
+  view.ClearFlow();
 
-  if (!ComputeFeasibleFlow(network, &stats.iterations)) {
+  if (!ComputeFeasibleFlow(&view, &stats.iterations)) {
     stats.outcome = SolveOutcome::kInfeasible;
     return stats;
   }
@@ -110,22 +115,23 @@ SolveStats CycleCanceling::Solve(FlowNetwork* network, const std::atomic<bool>* 
       stats.outcome = SolveOutcome::kCancelled;
       return stats;
     }
-    std::vector<ArcRef> cycle = FindNegativeCycle(net);
+    std::vector<uint32_t> cycle = FindNegativeCycle(view);
     if (cycle.empty()) {
       break;
     }
     int64_t delta = std::numeric_limits<int64_t>::max();
-    for (ArcRef ref : cycle) {
-      delta = std::min(delta, net.RefResidual(ref));
+    for (uint32_t ref : cycle) {
+      delta = std::min(delta, view.RefResidual(ref));
     }
     CHECK_GT(delta, 0);
-    for (ArcRef ref : cycle) {
-      net.RefPush(ref, delta);
+    for (uint32_t ref : cycle) {
+      view.RefPush(ref, delta);
     }
     ++stats.iterations;
   }
 
-  stats.total_cost = net.TotalCost();
+  view.WriteBackFlow(network);
+  stats.total_cost = view.TotalCost();
   stats.runtime_us = timer.ElapsedMicros();
   return stats;
 }

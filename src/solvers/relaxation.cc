@@ -11,7 +11,7 @@ void Relaxation::ResetState() {
   potential_.clear();
 }
 
-void Relaxation::UpdateExcess(NodeId node, int64_t delta) {
+void Relaxation::UpdateExcess(uint32_t node, int64_t delta) {
   int64_t old_value = excess_[node];
   int64_t new_value = old_value + delta;
   total_positive_excess_ += std::max<int64_t>(new_value, 0) - std::max<int64_t>(old_value, 0);
@@ -21,22 +21,24 @@ void Relaxation::UpdateExcess(NodeId node, int64_t delta) {
   }
 }
 
-void Relaxation::AddToS(const FlowNetwork& net, NodeId node) {
+void Relaxation::AddToS(const FlowNetworkView& view, uint32_t node) {
   in_s_version_[node] = scan_version_;
   s_nodes_.push_back(node);
   e_s_ += excess_[node];
   // Append this node's balanced out-arcs to the frontier. With arc
   // prioritization (§5.3.1), arcs towards demand nodes go to the front so
   // the traversal dives towards deficits depth-first.
-  for (ArcRef ref : net.Adjacency(node)) {
-    if (net.RefResidual(ref) <= 0 || ReducedCostOf(net, ref) != 0) {
+  const uint32_t* end = view.AdjEnd(node);
+  for (const uint32_t* it = view.AdjBegin(node); it != end; ++it) {
+    uint32_t ref = *it;
+    if (view.RefResidual(ref) <= 0 || ReducedCostOf(view, ref) != 0) {
       continue;
     }
-    NodeId head = net.RefDst(ref);
+    uint32_t head = view.RefDst(ref);
     if (InS(head)) {
       continue;
     }
-    int64_t residual = net.RefResidual(ref);
+    int64_t residual = view.RefResidual(ref);
     balance_out_ += residual;
     if (options_.arc_prioritization && excess_[head] < 0) {
       frontier_.push_front({ref, residual});
@@ -46,26 +48,28 @@ void Relaxation::AddToS(const FlowNetwork& net, NodeId node) {
   }
 }
 
-bool Relaxation::Ascend(FlowNetwork* network, SolveStats* stats) {
-  FlowNetwork& net = *network;
+bool Relaxation::Ascend(FlowNetworkView* view_ptr, SolveStats* stats) {
+  FlowNetworkView& view = *view_ptr;
   // One pass over arcs leaving S: saturate balanced ones (they acquire
   // negative reduced cost after the rise, so complementary slackness forces
   // them to capacity) and find the step size theta = min positive leaving
   // reduced cost.
   int64_t theta = std::numeric_limits<int64_t>::max();
-  for (NodeId v : s_nodes_) {
-    for (ArcRef ref : net.Adjacency(v)) {
-      NodeId head = net.RefDst(ref);
+  for (uint32_t v : s_nodes_) {
+    const uint32_t* end = view.AdjEnd(v);
+    for (const uint32_t* it = view.AdjBegin(v); it != end; ++it) {
+      uint32_t ref = *it;
+      uint32_t head = view.RefDst(ref);
       if (InS(head)) {
         continue;
       }
-      int64_t residual = net.RefResidual(ref);
+      int64_t residual = view.RefResidual(ref);
       if (residual <= 0) {
         continue;
       }
-      int64_t reduced = ReducedCostOf(net, ref);
+      int64_t reduced = ReducedCostOf(view, ref);
       if (reduced == 0) {
-        net.RefPush(ref, residual);
+        view.RefPush(ref, residual);
         UpdateExcess(v, -residual);
         UpdateExcess(head, residual);
       } else if (reduced > 0) {
@@ -76,28 +80,28 @@ bool Relaxation::Ascend(FlowNetwork* network, SolveStats* stats) {
   if (theta == std::numeric_limits<int64_t>::max()) {
     return false;  // dual unbounded: no way to route the remaining surplus
   }
-  for (NodeId v : s_nodes_) {
-    potential_[v] += theta;
+  for (uint32_t v : s_nodes_) {
+    pi_[v] += theta;
   }
   ++stats->phases;  // dual ascents
   return true;
 }
 
-void Relaxation::Augment(FlowNetwork* network, NodeId root, NodeId deficit_node,
+void Relaxation::Augment(FlowNetworkView* view_ptr, uint32_t root, uint32_t deficit_node,
                          SolveStats* stats) {
-  FlowNetwork& net = *network;
+  FlowNetworkView& view = *view_ptr;
   int64_t delta = std::min(excess_[root], -excess_[deficit_node]);
-  for (NodeId v = deficit_node; v != root;) {
+  for (uint32_t v = deficit_node; v != root;) {
     DCHECK(pred_version_[v] == scan_version_);
-    ArcRef ref = pred_[v];
-    delta = std::min(delta, net.RefResidual(ref));
-    v = net.RefSrc(ref);
+    uint32_t ref = pred_[v];
+    delta = std::min(delta, view.RefResidual(ref));
+    v = view.RefSrc(ref);
   }
   CHECK_GT(delta, 0);
-  for (NodeId v = deficit_node; v != root;) {
-    ArcRef ref = pred_[v];
-    net.RefPush(ref, delta);
-    v = net.RefSrc(ref);
+  for (uint32_t v = deficit_node; v != root;) {
+    uint32_t ref = pred_[v];
+    view.RefPush(ref, delta);
+    v = view.RefSrc(ref);
   }
   UpdateExcess(root, -delta);
   UpdateExcess(deficit_node, delta);
@@ -108,64 +112,61 @@ SolveStats Relaxation::Solve(FlowNetwork* network, const std::atomic<bool>* canc
   WallTimer timer;
   SolveStats stats;
   stats.algorithm = name();
-  FlowNetwork& net = *network;
-  const NodeId node_cap = net.NodeCapacity();
+  FlowNetworkView view(*network);
+  const uint32_t n = view.num_nodes();
 
   if (options_.incremental) {
-    potential_.resize(node_cap, 0);
+    view.GatherPotentials(potential_, &pi_);
   } else {
-    net.ClearFlow();
-    potential_.assign(node_cap, 0);
+    view.ClearFlow();
+    pi_.assign(n, 0);
   }
+
+  // Retained potentials are keyed by original NodeId so they survive the
+  // dense renumbering; translate back on every exit.
+  auto finish = [&](SolveStats* out, bool install_flow) {
+    view.ScatterPotentials(pi_, &potential_);
+    if (install_flow) {
+      view.WriteBackFlow(network);
+    }
+    out->runtime_us = timer.ElapsedMicros();
+  };
 
   // Restore complementary slackness w.r.t. the starting potentials: clamp
   // the flow on every arc whose reduced cost sign disagrees with it. From
   // scratch (pi = 0) this saturates negative-cost arcs only.
-  for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
-    if (!net.IsValidArc(arc)) {
-      continue;
+  for (uint32_t a = 0; a < view.num_arcs(); ++a) {
+    if (view.Flow(a) > view.Capacity(a)) {
+      view.SetFlow(a, view.Capacity(a));  // capacity shrank under warm start
     }
-    if (net.Flow(arc) > net.Capacity(arc)) {
-      net.SetFlow(arc, net.Capacity(arc));  // capacity shrank under warm start
-    }
-    int64_t c_pi = net.Cost(arc) - potential_[net.Src(arc)] + potential_[net.Dst(arc)];
+    int64_t c_pi = view.Cost(a) - pi_[view.Src(a)] + pi_[view.Dst(a)];
     if (c_pi < 0) {
-      net.SetFlow(arc, net.Capacity(arc));
+      view.SetFlow(a, view.Capacity(a));
     } else if (c_pi > 0) {
-      net.SetFlow(arc, 0);
+      view.SetFlow(a, 0);
     }
   }
 
-  // Excesses.
-  excess_.assign(node_cap, 0);
+  // Excesses (one SoA sweep).
+  view.ComputeExcess(&excess_);
   total_positive_excess_ = 0;
   positive_queue_.clear();
-  for (NodeId node : net.ValidNodes()) {
-    excess_[node] = net.Supply(node);
-  }
-  for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
-    if (!net.IsValidArc(arc)) {
-      continue;
-    }
-    excess_[net.Src(arc)] -= net.Flow(arc);
-    excess_[net.Dst(arc)] += net.Flow(arc);
-  }
-  for (NodeId node : net.ValidNodes()) {
-    if (excess_[node] > 0) {
-      total_positive_excess_ += excess_[node];
-      positive_queue_.push_back(node);
+  for (uint32_t v = 0; v < n; ++v) {
+    if (excess_[v] > 0) {
+      total_positive_excess_ += excess_[v];
+      positive_queue_.push_back(v);
     }
   }
 
-  in_s_version_.assign(node_cap, 0);
-  pred_version_.assign(node_cap, 0);
-  pred_.assign(node_cap, kInvalidArcId);
+  in_s_version_.assign(n, 0);
+  pred_version_.assign(n, 0);
+  pred_.assign(n, FlowNetworkView::kInvalidRef);
   scan_version_ = 0;
 
   uint64_t steps_since_poll = 0;
   while (total_positive_excess_ > 0) {
     CHECK(!positive_queue_.empty());
-    NodeId s = positive_queue_.front();
+    uint32_t s = positive_queue_.front();
     positive_queue_.pop_front();
     if (excess_[s] <= 0) {
       continue;  // stale entry
@@ -176,11 +177,12 @@ SolveStats Relaxation::Solve(FlowNetwork* network, const std::atomic<bool>* canc
 
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       stats.outcome = SolveOutcome::kCancelled;
+      finish(&stats, /*install_flow=*/false);
       return stats;
     }
     if (options_.time_budget_us != 0 && timer.ElapsedMicros() > options_.time_budget_us) {
       stats.outcome = SolveOutcome::kApproximate;
-      stats.runtime_us = timer.ElapsedMicros();
+      finish(&stats, /*install_flow=*/true);
       return stats;
     }
 
@@ -190,14 +192,14 @@ SolveStats Relaxation::Solve(FlowNetwork* network, const std::atomic<bool>* canc
     frontier_.clear();
     e_s_ = 0;
     balance_out_ = 0;
-    AddToS(net, s);
+    AddToS(view, s);
 
     for (;;) {
       if (e_s_ > balance_out_) {
         // Raising pi(S) strictly increases the dual: ascend and restart.
-        if (!Ascend(&net, &stats)) {
+        if (!Ascend(&view, &stats)) {
           stats.outcome = SolveOutcome::kInfeasible;
-          stats.runtime_us = timer.ElapsedMicros();
+          finish(&stats, /*install_flow=*/true);
           return stats;
         }
         break;
@@ -209,29 +211,31 @@ SolveStats Relaxation::Solve(FlowNetwork* network, const std::atomic<bool>* canc
       balance_out_ -= entry.recorded_residual;
       // Entries can go stale: the head may have joined S, or pushes may have
       // consumed the residual.
-      NodeId head = net.RefDst(entry.ref);
-      if (InS(head) || net.RefResidual(entry.ref) <= 0 || ReducedCostOf(net, entry.ref) != 0) {
+      uint32_t head = view.RefDst(entry.ref);
+      if (InS(head) || view.RefResidual(entry.ref) <= 0 ||
+          ReducedCostOf(view, entry.ref) != 0) {
         continue;
       }
       pred_[head] = entry.ref;
       pred_version_[head] = scan_version_;
       if (excess_[head] < 0) {
-        Augment(&net, s, head, &stats);
+        Augment(&view, s, head, &stats);
         break;
       }
-      AddToS(net, head);
+      AddToS(view, head);
       if (++steps_since_poll >= 16384) {
         steps_since_poll = 0;
         if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
           stats.outcome = SolveOutcome::kCancelled;
+          finish(&stats, /*install_flow=*/false);
           return stats;
         }
       }
     }
   }
 
-  stats.total_cost = net.TotalCost();
-  stats.runtime_us = timer.ElapsedMicros();
+  stats.total_cost = view.TotalCost();
+  finish(&stats, /*install_flow=*/true);
   return stats;
 }
 

@@ -13,6 +13,10 @@
 // extending the scanned cut, arcs leading to nodes with demand are visited
 // first (hybrid depth-first-towards-demand traversal), reducing runtime by
 // ~45% on contended graphs (Fig. 12a).
+//
+// Each Solve() runs on a FlowNetworkView (dense CSR snapshot) and installs
+// the resulting flow back into the FlowNetwork. Retained potentials are
+// keyed by original NodeId so incremental warm starts survive renumbering.
 
 #ifndef SRC_SOLVERS_RELAXATION_H_
 #define SRC_SOLVERS_RELAXATION_H_
@@ -21,6 +25,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/flow/flow_network_view.h"
 #include "src/solvers/mcmf_solver.h"
 
 namespace firmament {
@@ -48,41 +53,44 @@ class Relaxation : public McmfSolver {
 
   RelaxationOptions& options() { return options_; }
 
-  // Potentials of the last solve (unscaled); consumed by price refine and
-  // exported to incremental cost scaling at handoff (§6.2).
+  // Potentials of the last solve (unscaled, keyed by original NodeId);
+  // consumed by price refine and exported to incremental cost scaling at
+  // handoff (§6.2).
   const std::vector<int64_t>& potentials() const { return potential_; }
 
   void ResetState();
 
  private:
   struct FrontierEntry {
-    ArcRef ref;
+    uint32_t ref;               // dense residual ref
     int64_t recorded_residual;  // contribution counted into balance_out_
   };
 
-  int64_t ReducedCostOf(const FlowNetwork& net, ArcRef ref) const {
-    return net.RefCost(ref) - potential_[net.RefSrc(ref)] + potential_[net.RefDst(ref)];
+  int64_t ReducedCostOf(const FlowNetworkView& view, uint32_t ref) const {
+    return view.RefCost(ref) - pi_[view.RefSrc(ref)] + pi_[view.RefDst(ref)];
   }
-  bool InS(NodeId node) const { return in_s_version_[node] == scan_version_; }
-  void AddToS(const FlowNetwork& net, NodeId node);
-  void UpdateExcess(NodeId node, int64_t delta);
+  bool InS(uint32_t node) const { return in_s_version_[node] == scan_version_; }
+  void AddToS(const FlowNetworkView& view, uint32_t node);
+  void UpdateExcess(uint32_t node, int64_t delta);
   // Saturates balanced arcs leaving S and raises pi(S) by the smallest
   // positive leaving reduced cost. Returns false if the dual is unbounded
   // (infeasible primal).
-  bool Ascend(FlowNetwork* net, SolveStats* stats);
-  void Augment(FlowNetwork* net, NodeId root, NodeId deficit_node, SolveStats* stats);
+  bool Ascend(FlowNetworkView* view, SolveStats* stats);
+  void Augment(FlowNetworkView* view, uint32_t root, uint32_t deficit_node, SolveStats* stats);
 
   RelaxationOptions options_;
+  // Retained potentials keyed by original NodeId (survive renumbering).
   std::vector<int64_t> potential_;
 
-  // Per-solve scratch state.
+  // Per-solve dense scratch state.
+  std::vector<int64_t> pi_;  // dense (view-indexed) potentials
   std::vector<int64_t> excess_;
   std::vector<uint32_t> in_s_version_;
   std::vector<uint32_t> pred_version_;
-  std::vector<ArcRef> pred_;
-  std::vector<NodeId> s_nodes_;
+  std::vector<uint32_t> pred_;
+  std::vector<uint32_t> s_nodes_;
   std::deque<FrontierEntry> frontier_;
-  std::deque<NodeId> positive_queue_;
+  std::deque<uint32_t> positive_queue_;
   uint32_t scan_version_ = 0;
   int64_t e_s_ = 0;          // total excess of the scanned set S
   int64_t balance_out_ = 0;  // residual capacity of balanced arcs leaving S

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "src/flow/flow_network_view.h"
 #include "src/solvers/solver_util.h"
 
 namespace firmament {
@@ -15,25 +16,25 @@ std::string Format(const char* fmt, long long a, long long b) {
   return buf;
 }
 
-}  // namespace
-
-CheckResult CheckFeasibility(const FlowNetwork& net) {
+CheckResult CheckFeasibilityOnView(const FlowNetworkView& view) {
   CheckResult result;
-  for (ArcId arc = 0; arc < net.ArcCapacityBound(); ++arc) {
-    if (!net.IsValidArc(arc)) {
-      continue;
-    }
-    if (net.Flow(arc) < 0 || net.Flow(arc) > net.Capacity(arc)) {
+  for (uint32_t a = 0; a < view.num_arcs(); ++a) {
+    if (view.Flow(a) < 0 || view.Flow(a) > view.Capacity(a)) {
       result.message = Format("arc %lld: flow %lld outside [0, capacity]",
-                              static_cast<long long>(arc), static_cast<long long>(net.Flow(arc)));
+                              static_cast<long long>(view.OrigArc(a)),
+                              static_cast<long long>(view.Flow(a)));
       return result;
     }
   }
-  for (NodeId node : net.ValidNodes()) {
-    int64_t excess = net.Excess(node);
-    if (excess != 0) {
-      result.message = Format("node %lld: non-zero excess %lld", static_cast<long long>(node),
-                              static_cast<long long>(excess));
+  // Mass balance via one SoA sweep over arcs instead of per-node adjacency
+  // walks.
+  std::vector<int64_t> excess;
+  view.ComputeExcess(&excess);
+  for (uint32_t v = 0; v < view.num_nodes(); ++v) {
+    if (excess[v] != 0) {
+      result.message = Format("node %lld: non-zero excess %lld",
+                              static_cast<long long>(view.OrigNode(v)),
+                              static_cast<long long>(excess[v]));
       return result;
     }
   }
@@ -41,16 +42,23 @@ CheckResult CheckFeasibility(const FlowNetwork& net) {
   return result;
 }
 
+}  // namespace
+
+CheckResult CheckFeasibility(const FlowNetwork& net) {
+  return CheckFeasibilityOnView(FlowNetworkView(net));
+}
+
 CheckResult CheckOptimality(const FlowNetwork& net) {
-  CheckResult result = CheckFeasibility(net);
+  FlowNetworkView view(net);
+  CheckResult result = CheckFeasibilityOnView(view);
   if (!result.feasible) {
     return result;
   }
-  std::vector<ArcRef> cycle = FindNegativeCycle(net);
+  std::vector<uint32_t> cycle = FindNegativeCycle(view);
   if (!cycle.empty()) {
     int64_t cycle_cost = 0;
-    for (ArcRef ref : cycle) {
-      cycle_cost += net.RefCost(ref);
+    for (uint32_t ref : cycle) {
+      cycle_cost += view.RefCost(ref);
     }
     result.message = Format("negative residual cycle of length %lld, cost %lld",
                             static_cast<long long>(cycle.size()),

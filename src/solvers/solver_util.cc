@@ -9,36 +9,38 @@ namespace firmament {
 
 namespace {
 
-// Label-correcting pass over the residual network from a virtual root at
-// distance 0 to every node. On success, dist[v] is the (non-positive)
-// shortest distance and parent[v] the ArcRef used to reach v. Returns
-// kInvalidNodeId on success or a node known to lie on / be reachable from a
+
+// Label-correcting pass over the view's residual network from a virtual root
+// at distance 0 to every node. On success, dist[v] is the (non-positive)
+// shortest distance and parent[v] the dense ref used to reach v. Returns
+// FlowNetworkView::kInvalidDense on success or a node known to lie on / be reachable from a
 // negative cycle otherwise.
-NodeId SpfaFromEverywhere(const FlowNetwork& net, std::vector<int64_t>* dist,
-                          std::vector<ArcRef>* parent, uint32_t max_relaxations = 0) {
-  const NodeId cap = net.NodeCapacity();
-  dist->assign(cap, 0);
-  parent->assign(cap, kInvalidArcId);
-  std::vector<uint32_t> relax_count(cap, 0);
-  std::vector<bool> in_queue(cap, false);
-  std::deque<NodeId> queue;
-  for (NodeId node : net.ValidNodes()) {
-    queue.push_back(node);
-    in_queue[node] = true;
+uint32_t SpfaFromEverywhere(const FlowNetworkView& view, std::vector<int64_t>* dist,
+                            std::vector<uint32_t>* parent, uint32_t max_relaxations = 0) {
+  const uint32_t n = view.num_nodes();
+  dist->assign(n, 0);
+  parent->assign(n, FlowNetworkView::kInvalidRef);
+  std::vector<uint32_t> relax_count(n, 0);
+  std::vector<bool> in_queue(n, true);
+  std::deque<uint32_t> queue;
+  for (uint32_t v = 0; v < n; ++v) {
+    queue.push_back(v);
   }
   if (max_relaxations == 0) {
-    max_relaxations = static_cast<uint32_t>(net.NumNodes()) + 1;
+    max_relaxations = n + 1;
   }
   while (!queue.empty()) {
-    NodeId u = queue.front();
+    uint32_t u = queue.front();
     queue.pop_front();
     in_queue[u] = false;
-    for (ArcRef ref : net.Adjacency(u)) {
-      if (net.RefSrc(ref) != u || net.RefResidual(ref) <= 0) {
+    const uint32_t* end = view.AdjEnd(u);
+    for (const uint32_t* it = view.AdjBegin(u); it != end; ++it) {
+      uint32_t ref = *it;
+      if (view.RefResidual(ref) <= 0) {
         continue;
       }
-      NodeId v = net.RefDst(ref);
-      int64_t nd = (*dist)[u] + net.RefCost(ref);
+      uint32_t v = view.RefDst(ref);
+      int64_t nd = (*dist)[u] + view.RefCost(ref);
       if (nd < (*dist)[v]) {
         (*dist)[v] = nd;
         (*parent)[v] = ref;
@@ -57,48 +59,83 @@ NodeId SpfaFromEverywhere(const FlowNetwork& net, std::vector<int64_t>* dist,
       }
     }
   }
-  return kInvalidNodeId;
+  return FlowNetworkView::kInvalidDense;
 }
 
 }  // namespace
 
-bool ComputeOptimalPotentials(const FlowNetwork& net, std::vector<int64_t>* potential) {
+bool ComputeOptimalPotentials(const FlowNetworkView& view, std::vector<int64_t>* potential) {
   std::vector<int64_t> dist;
-  std::vector<ArcRef> parent;
-  if (SpfaFromEverywhere(net, &dist, &parent) != kInvalidNodeId) {
+  std::vector<uint32_t> parent;
+  if (SpfaFromEverywhere(view, &dist, &parent) != FlowNetworkView::kInvalidDense) {
     return false;
   }
-  potential->assign(net.NodeCapacity(), 0);
   // With pi(v) = -dist(v): c_pi(u,v) = c + dist(u) - dist(v) >= 0 by the
   // shortest-path condition.
-  for (NodeId node : net.ValidNodes()) {
-    (*potential)[node] = -dist[node];
+  potential->assign(view.num_nodes(), 0);
+  for (uint32_t v = 0; v < view.num_nodes(); ++v) {
+    (*potential)[v] = -dist[v];
   }
   return true;
 }
 
-std::vector<ArcRef> FindNegativeCycle(const FlowNetwork& net) {
+std::vector<uint32_t> FindNegativeCycle(const FlowNetworkView& view) {
   std::vector<int64_t> dist;
-  std::vector<ArcRef> parent;
-  NodeId witness = SpfaFromEverywhere(net, &dist, &parent);
-  if (witness == kInvalidNodeId) {
+  std::vector<uint32_t> parent;
+  uint32_t witness = SpfaFromEverywhere(view, &dist, &parent);
+  if (witness == FlowNetworkView::kInvalidDense) {
     return {};
   }
   // Walk parents N times to guarantee we are inside the cycle, then collect.
-  NodeId cur = witness;
-  for (size_t i = 0; i < net.NumNodes(); ++i) {
-    CHECK_NE(parent[cur], kInvalidArcId);
-    cur = net.RefSrc(parent[cur]);
+  uint32_t cur = witness;
+  for (uint32_t i = 0; i < view.num_nodes(); ++i) {
+    CHECK_NE(parent[cur], FlowNetworkView::kInvalidRef);
+    cur = view.RefSrc(parent[cur]);
   }
-  std::vector<ArcRef> cycle;
-  NodeId start = cur;
+  std::vector<uint32_t> cycle;
+  uint32_t start = cur;
   do {
-    ArcRef ref = parent[cur];
-    CHECK_NE(ref, kInvalidArcId);
+    uint32_t ref = parent[cur];
+    CHECK_NE(ref, FlowNetworkView::kInvalidRef);
     cycle.push_back(ref);
-    cur = net.RefSrc(ref);
+    cur = view.RefSrc(ref);
   } while (cur != start);
   std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+bool TryProveOptimal(const FlowNetworkView& view, std::vector<int64_t>* potential,
+                     uint32_t relax_bound) {
+  std::vector<int64_t> dist;
+  std::vector<uint32_t> parent;
+  if (SpfaFromEverywhere(view, &dist, &parent, relax_bound) != FlowNetworkView::kInvalidDense) {
+    return false;  // inconclusive (or an actual negative cycle)
+  }
+  potential->assign(view.num_nodes(), 0);
+  for (uint32_t v = 0; v < view.num_nodes(); ++v) {
+    (*potential)[v] = -dist[v];
+  }
+  return true;
+}
+
+bool ComputeOptimalPotentials(const FlowNetwork& net, std::vector<int64_t>* potential) {
+  FlowNetworkView view(net);
+  std::vector<int64_t> dense;
+  if (!ComputeOptimalPotentials(view, &dense)) {
+    return false;
+  }
+  view.ScatterPotentials(dense, potential);
+  return true;
+}
+
+std::vector<ArcRef> FindNegativeCycle(const FlowNetwork& net) {
+  FlowNetworkView view(net);
+  std::vector<uint32_t> dense_cycle = FindNegativeCycle(view);
+  std::vector<ArcRef> cycle;
+  cycle.reserve(dense_cycle.size());
+  for (uint32_t ref : dense_cycle) {
+    cycle.push_back(view.OrigRef(ref));
+  }
   return cycle;
 }
 
@@ -113,15 +150,12 @@ bool PriceRefine(const FlowNetwork& net, std::vector<int64_t>* potential) {
 
 bool TryProveOptimal(const FlowNetwork& net, std::vector<int64_t>* potential,
                      uint32_t relax_bound) {
-  std::vector<int64_t> dist;
-  std::vector<ArcRef> parent;
-  if (SpfaFromEverywhere(net, &dist, &parent, relax_bound) != kInvalidNodeId) {
-    return false;  // inconclusive (or an actual negative cycle)
+  FlowNetworkView view(net);
+  std::vector<int64_t> dense;
+  if (!TryProveOptimal(view, &dense, relax_bound)) {
+    return false;
   }
-  potential->assign(net.NodeCapacity(), 0);
-  for (NodeId node : net.ValidNodes()) {
-    (*potential)[node] = -dist[node];
-  }
+  view.ScatterPotentials(dense, potential);
   return true;
 }
 

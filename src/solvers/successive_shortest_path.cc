@@ -5,6 +5,7 @@
 
 #include "src/base/check.h"
 #include "src/base/timer.h"
+#include "src/flow/flow_network_view.h"
 #include "src/solvers/solver_util.h"
 
 namespace firmament {
@@ -12,6 +13,7 @@ namespace firmament {
 namespace {
 
 constexpr int64_t kInfDist = std::numeric_limits<int64_t>::max();
+constexpr uint32_t kNoRef = FlowNetworkView::kInvalidRef;
 
 }  // namespace
 
@@ -19,14 +21,14 @@ SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic
   WallTimer timer;
   SolveStats stats;
   stats.algorithm = name();
-  FlowNetwork& net = *network;
-  net.ClearFlow();
+  FlowNetworkView view(*network);
+  view.ClearFlow();
+  const uint32_t n = view.num_nodes();
 
-  const NodeId cap = net.NodeCapacity();
   std::vector<int64_t> potential;
   // Initial potentials make all reduced costs non-negative even if the input
   // has negative arc costs (scheduling graphs do not, but DIMACS inputs may).
-  if (!ComputeOptimalPotentials(net, &potential)) {
+  if (!ComputeOptimalPotentials(view, &potential)) {
     // Negative cycle with zero flow => negative-cost arcs form a cycle; the
     // problem is still solvable but not by plain SSP. Scheduling graphs are
     // DAGs, so we simply report it.
@@ -34,24 +36,24 @@ SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic
     return stats;
   }
 
-  std::vector<int64_t> excess(cap, 0);
-  std::vector<NodeId> sources;
-  for (NodeId node : net.ValidNodes()) {
-    excess[node] = net.Supply(node);
-    if (excess[node] > 0) {
-      sources.push_back(node);
+  std::vector<int64_t> excess(n, 0);
+  std::vector<uint32_t> sources;
+  for (uint32_t v = 0; v < n; ++v) {
+    excess[v] = view.Supply(v);
+    if (excess[v] > 0) {
+      sources.push_back(v);
     }
   }
 
-  std::vector<int64_t> dist(cap, kInfDist);
-  std::vector<ArcRef> parent(cap, kInvalidArcId);
-  std::vector<NodeId> touched;
-  using HeapEntry = std::pair<int64_t, NodeId>;
+  std::vector<int64_t> dist(n, kInfDist);
+  std::vector<uint32_t> parent(n, kNoRef);
+  std::vector<uint32_t> touched;
+  using HeapEntry = std::pair<int64_t, uint32_t>;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  std::vector<bool> finalized(cap, false);
+  std::vector<bool> finalized(n, false);
 
   while (!sources.empty()) {
-    NodeId s = sources.back();
+    uint32_t s = sources.back();
     if (excess[s] <= 0) {
       sources.pop_back();
       continue;
@@ -62,9 +64,9 @@ SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic
     }
 
     // Dijkstra over reduced costs from s until the nearest deficit node.
-    for (NodeId t : touched) {
+    for (uint32_t t : touched) {
       dist[t] = kInfDist;
-      parent[t] = kInvalidArcId;
+      parent[t] = kNoRef;
       finalized[t] = false;
     }
     touched.clear();
@@ -74,7 +76,7 @@ SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic
     dist[s] = 0;
     touched.push_back(s);
     heap.emplace(0, s);
-    NodeId deficit_node = kInvalidNodeId;
+    uint32_t deficit_node = kNoRef;
     while (!heap.empty()) {
       auto [d, u] = heap.top();
       heap.pop();
@@ -86,15 +88,17 @@ SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic
         deficit_node = u;
         break;
       }
-      for (ArcRef ref : net.Adjacency(u)) {
-        if (net.RefResidual(ref) <= 0) {
+      const uint32_t* end = view.AdjEnd(u);
+      for (const uint32_t* it = view.AdjBegin(u); it != end; ++it) {
+        uint32_t ref = *it;
+        if (view.RefResidual(ref) <= 0) {
           continue;
         }
-        NodeId v = net.RefDst(ref);
+        uint32_t v = view.RefDst(ref);
         if (finalized[v]) {
           continue;
         }
-        int64_t rc = net.RefCost(ref) - potential[u] + potential[v];
+        int64_t rc = view.RefCost(ref) - potential[u] + potential[v];
         DCHECK_GE(rc, 0);
         int64_t nd = d + rc;
         if (dist[v] == kInfDist) {
@@ -107,7 +111,7 @@ SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic
         }
       }
     }
-    if (deficit_node == kInvalidNodeId) {
+    if (deficit_node == kNoRef) {
       stats.outcome = SolveOutcome::kInfeasible;
       return stats;
     }
@@ -116,7 +120,7 @@ SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic
     // Equivalent to pi(v) -= min(d(v), d_t) for every node, shifted by the
     // constant d_t so that unreached nodes need no update.
     int64_t d_t = dist[deficit_node];
-    for (NodeId v : touched) {
+    for (uint32_t v : touched) {
       if (dist[v] < d_t) {
         potential[v] += d_t - dist[v];
       }
@@ -124,23 +128,24 @@ SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic
 
     // Augment along the parent path.
     int64_t delta = std::min(excess[s], -excess[deficit_node]);
-    for (NodeId v = deficit_node; v != s;) {
-      ArcRef ref = parent[v];
-      delta = std::min(delta, net.RefResidual(ref));
-      v = net.RefSrc(ref);
+    for (uint32_t v = deficit_node; v != s;) {
+      uint32_t ref = parent[v];
+      delta = std::min(delta, view.RefResidual(ref));
+      v = view.RefSrc(ref);
     }
     CHECK_GT(delta, 0);
-    for (NodeId v = deficit_node; v != s;) {
-      ArcRef ref = parent[v];
-      net.RefPush(ref, delta);
-      v = net.RefSrc(ref);
+    for (uint32_t v = deficit_node; v != s;) {
+      uint32_t ref = parent[v];
+      view.RefPush(ref, delta);
+      v = view.RefSrc(ref);
     }
     excess[s] -= delta;
     excess[deficit_node] += delta;
     ++stats.iterations;
   }
 
-  stats.total_cost = net.TotalCost();
+  view.WriteBackFlow(network);
+  stats.total_cost = view.TotalCost();
   stats.runtime_us = timer.ElapsedMicros();
   return stats;
 }

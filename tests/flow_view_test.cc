@@ -1,0 +1,286 @@
+// Tests for the CSR solve-time snapshot (FlowNetworkView): structural
+// fidelity under id recycling, flow writeback, potential translation, the
+// packed residual star, and end-to-end solver round trips on mutated
+// networks.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/flow/flow_network_view.h"
+#include "src/flow/graph.h"
+#include "src/solvers/cost_scaling.h"
+#include "src/solvers/cycle_canceling.h"
+#include "src/solvers/relaxation.h"
+#include "src/solvers/solution_checker.h"
+#include "src/solvers/successive_shortest_path.h"
+#include "tests/graph_generators.h"
+
+namespace firmament {
+namespace {
+
+std::vector<std::unique_ptr<McmfSolver>> AllSolvers() {
+  std::vector<std::unique_ptr<McmfSolver>> solvers;
+  solvers.push_back(std::make_unique<CycleCanceling>());
+  solvers.push_back(std::make_unique<SuccessiveShortestPath>());
+  solvers.push_back(std::make_unique<CostScaling>());
+  solvers.push_back(std::make_unique<Relaxation>());
+  return solvers;
+}
+
+// Punches holes into the id spaces: removes a third of the tasks (and their
+// arcs) and some arbitrary arcs, then adds a few replacement tasks so the
+// free lists are partially recycled.
+void MutateNetwork(FlowNetwork* net, Rng* rng) {
+  std::vector<NodeId> tasks;
+  std::vector<NodeId> machines;
+  NodeId sink = kInvalidNodeId;
+  NodeId unsched = kInvalidNodeId;
+  for (NodeId node : net->ValidNodes()) {
+    switch (net->Kind(node)) {
+      case NodeKind::kTask:
+        tasks.push_back(node);
+        break;
+      case NodeKind::kMachine:
+        machines.push_back(node);
+        break;
+      case NodeKind::kSink:
+        sink = node;
+        break;
+      case NodeKind::kUnscheduled:
+        unsched = node;
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_NE(sink, kInvalidNodeId);
+  ASSERT_NE(unsched, kInvalidNodeId);
+  size_t to_remove = tasks.size() / 3;
+  for (size_t i = 0; i < to_remove; ++i) {
+    size_t idx = rng->NextUint64(tasks.size());
+    net->RemoveNode(tasks[idx]);
+    net->SetNodeSupply(sink, net->Supply(sink) + 1);
+    tasks[idx] = tasks.back();
+    tasks.pop_back();
+  }
+  // Remove a few random preference arcs.
+  for (NodeId task : tasks) {
+    const auto& adjacency = net->Adjacency(task);
+    if (adjacency.size() > 2 && rng->NextDouble() < 0.3) {
+      for (ArcRef ref : adjacency) {
+        ArcId arc = FlowNetwork::RefArc(ref);
+        if (!FlowNetwork::RefIsReverse(ref) && net->Dst(arc) != unsched) {
+          net->RemoveArc(arc);
+          break;
+        }
+      }
+    }
+  }
+  // Recycle some ids.
+  for (int i = 0; i < 5; ++i) {
+    NodeId task = net->AddNode(1, NodeKind::kTask);
+    net->AddArc(task, unsched, 1, 40 + static_cast<int64_t>(rng->NextInt(0, 40)));
+    net->AddArc(task, machines[rng->NextUint64(machines.size())], 1, rng->NextInt(0, 20));
+    net->SetNodeSupply(sink, net->Supply(sink) - 1);
+  }
+}
+
+TEST(FlowNetworkViewTest, MirrorsStructureOfMutatedNetwork) {
+  SchedulingGraphSpec spec;
+  spec.seed = 17;
+  spec.num_tasks = 40;
+  FlowNetwork net = MakeSchedulingGraph(spec);
+  Rng rng(99);
+  MutateNetwork(&net, &rng);
+
+  FlowNetworkView view(net);
+  EXPECT_EQ(view.num_nodes(), net.NumNodes());
+  EXPECT_EQ(view.num_arcs(), net.NumArcs());
+  EXPECT_EQ(view.orig_node_capacity(), net.NodeCapacity());
+
+  // Node mapping is a bijection between dense ids and valid original ids.
+  std::set<NodeId> seen;
+  for (uint32_t v = 0; v < view.num_nodes(); ++v) {
+    NodeId orig = view.OrigNode(v);
+    ASSERT_TRUE(net.IsValidNode(orig));
+    EXPECT_EQ(view.DenseNode(orig), v);
+    EXPECT_EQ(view.Supply(v), net.Supply(orig));
+    EXPECT_EQ(view.Kind(v), net.Kind(orig));
+    EXPECT_TRUE(seen.insert(orig).second);
+  }
+  // Removed original ids map to nothing.
+  for (NodeId orig = 0; orig < net.NodeCapacity(); ++orig) {
+    if (!net.IsValidNode(orig)) {
+      EXPECT_EQ(view.DenseNode(orig), FlowNetworkView::kInvalidDense);
+    }
+  }
+
+  // Arc attributes and endpoints survive the renumbering.
+  for (uint32_t a = 0; a < view.num_arcs(); ++a) {
+    ArcId orig = view.OrigArc(a);
+    ASSERT_TRUE(net.IsValidArc(orig));
+    EXPECT_EQ(view.OrigNode(view.Src(a)), net.Src(orig));
+    EXPECT_EQ(view.OrigNode(view.Dst(a)), net.Dst(orig));
+    EXPECT_EQ(view.Capacity(a), net.Capacity(orig));
+    EXPECT_EQ(view.Cost(a), net.Cost(orig));
+    EXPECT_EQ(view.Flow(a), net.Flow(orig));
+  }
+
+  // CSR adjacency: per-node degree matches, every slice ref starts at its
+  // node, and each arc contributes exactly two refs overall.
+  size_t total_refs = 0;
+  for (uint32_t v = 0; v < view.num_nodes(); ++v) {
+    EXPECT_EQ(view.Degree(v), net.Adjacency(view.OrigNode(v)).size());
+    for (const uint32_t* it = view.AdjBegin(v); it != view.AdjEnd(v); ++it) {
+      EXPECT_EQ(view.RefSrc(*it), v);
+      ++total_refs;
+    }
+  }
+  EXPECT_EQ(total_refs, 2 * static_cast<size_t>(view.num_arcs()));
+}
+
+TEST(FlowNetworkViewTest, WriteBackInstallsFlowIntoOriginalArcs) {
+  SchedulingGraphSpec spec;
+  spec.seed = 4;
+  FlowNetwork net = MakeSchedulingGraph(spec);
+  Rng rng(5);
+  MutateNetwork(&net, &rng);
+
+  FlowNetworkView view(net);
+  for (uint32_t a = 0; a < view.num_arcs(); ++a) {
+    view.SetFlow(a, view.Capacity(a) > 0 ? 1 : 0);
+  }
+  view.WriteBackFlow(&net);
+  for (uint32_t a = 0; a < view.num_arcs(); ++a) {
+    EXPECT_EQ(net.Flow(view.OrigArc(a)), view.Flow(a));
+  }
+}
+
+TEST(FlowNetworkViewTest, PotentialGatherScatterSurvivesRenumbering) {
+  SchedulingGraphSpec spec;
+  spec.seed = 23;
+  FlowNetwork net = MakeSchedulingGraph(spec);
+  Rng rng(7);
+  MutateNetwork(&net, &rng);
+
+  FlowNetworkView view(net);
+  // by-orig potentials: value derived from the original id.
+  std::vector<int64_t> by_orig(net.NodeCapacity());
+  for (NodeId node = 0; node < net.NodeCapacity(); ++node) {
+    by_orig[node] = 1000 + 7 * static_cast<int64_t>(node);
+  }
+  std::vector<int64_t> dense;
+  view.GatherPotentials(by_orig, &dense);
+  for (uint32_t v = 0; v < view.num_nodes(); ++v) {
+    EXPECT_EQ(dense[v], 1000 + 7 * static_cast<int64_t>(view.OrigNode(v)));
+  }
+  std::vector<int64_t> back;
+  view.ScatterPotentials(dense, &back);
+  for (uint32_t v = 0; v < view.num_nodes(); ++v) {
+    EXPECT_EQ(back[view.OrigNode(v)], dense[v]);
+  }
+  // A short gather source behaves as zero-extended.
+  std::vector<int64_t> short_src(1, 42);
+  view.GatherPotentials(short_src, &dense);
+  for (uint32_t v = 0; v < view.num_nodes(); ++v) {
+    EXPECT_EQ(dense[v], view.OrigNode(v) == 0 ? 42 : 0);
+  }
+}
+
+TEST(FlowNetworkViewTest, ResidualStarRoundTripsFlow) {
+  SchedulingGraphSpec spec;
+  spec.seed = 31;
+  FlowNetwork net = MakeSchedulingGraph(spec);
+  FlowNetworkView view(net);
+  std::vector<FlowNetworkView::ResidualEntry> star;
+  view.BuildResidualStar(/*cost_multiplier=*/16, &star);
+  ASSERT_EQ(star.size(), 2 * static_cast<size_t>(view.num_arcs()));
+  for (uint32_t a = 0; a < view.num_arcs(); ++a) {
+    uint32_t fwd = FlowNetworkView::MakeRef(a, false);
+    uint32_t rev = FlowNetworkView::MakeRef(a, true);
+    EXPECT_EQ(star[fwd].residual + star[rev].residual, view.Capacity(a));
+    EXPECT_EQ(star[fwd].cost, view.Cost(a) * 16);
+    EXPECT_EQ(star[rev].cost, -view.Cost(a) * 16);
+    EXPECT_EQ(star[fwd].head, view.Dst(a));
+    EXPECT_EQ(star[rev].head, view.Src(a));
+    EXPECT_EQ(star[fwd].arc, a);
+  }
+  // Simulate a push of one unit on every positive-capacity arc, sync back.
+  for (uint32_t a = 0; a < view.num_arcs(); ++a) {
+    if (star[FlowNetworkView::MakeRef(a, false)].residual > 0) {
+      star[FlowNetworkView::MakeRef(a, false)].residual -= 1;
+      star[FlowNetworkView::MakeRef(a, true)].residual += 1;
+    }
+  }
+  view.SyncFlowFromStar(star);
+  for (uint32_t a = 0; a < view.num_arcs(); ++a) {
+    EXPECT_EQ(view.Flow(a), view.Capacity(a) > 0 ? 1 : 0);
+  }
+}
+
+// The tentpole round trip: mutate the network (holes in both id spaces),
+// solve through the view path, write back, and validate with the solution
+// checker — for every solver.
+class ViewRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ViewRoundTripTest, SolveOnMutatedNetworkPassesChecker) {
+  SchedulingGraphSpec spec;
+  spec.seed = GetParam();
+  spec.num_tasks = 30 + static_cast<int>(GetParam() % 30);
+  FlowNetwork reference = MakeSchedulingGraph(spec);
+  Rng rng(GetParam() * 131 + 17);
+  MutateNetwork(&reference, &rng);
+
+  int64_t expected_cost = 0;
+  bool first = true;
+  for (auto& solver : AllSolvers()) {
+    FlowNetwork net = reference;
+    SolveStats stats = solver->Solve(&net);
+    ASSERT_EQ(stats.outcome, SolveOutcome::kOptimal) << solver->name();
+    CheckResult check = CheckOptimality(net);
+    EXPECT_TRUE(check.ok()) << solver->name() << ": " << check.message;
+    if (first) {
+      expected_cost = stats.total_cost;
+      first = false;
+    } else {
+      EXPECT_EQ(stats.total_cost, expected_cost) << solver->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewRoundTripTest, ::testing::Range<uint64_t>(0, 15));
+
+// Incremental cost scaling across mutation rounds: the warm-start contract
+// (potentials keyed by original NodeId) must survive renumbering when ids
+// are freed and recycled between solves.
+TEST(ViewWarmStartTest, IncrementalSurvivesIdRecycling) {
+  SchedulingGraphSpec spec;
+  spec.seed = 77;
+  spec.num_tasks = 40;
+  FlowNetwork net = MakeSchedulingGraph(spec);
+  Rng rng(123);
+
+  CostScalingOptions options;
+  options.incremental = true;
+  CostScaling incremental(options);
+  for (int round = 0; round < 6; ++round) {
+    SolveStats inc_stats = incremental.Solve(&net);
+    ASSERT_EQ(inc_stats.outcome, SolveOutcome::kOptimal) << "round " << round;
+    CheckResult check = CheckOptimality(net);
+    EXPECT_TRUE(check.ok()) << "round " << round << ": " << check.message;
+
+    FlowNetwork scratch_net = net;
+    CostScaling scratch;
+    SolveStats scratch_stats = scratch.Solve(&scratch_net);
+    EXPECT_EQ(inc_stats.total_cost, scratch_stats.total_cost) << "round " << round;
+
+    MutateNetwork(&net, &rng);
+  }
+}
+
+}  // namespace
+}  // namespace firmament
