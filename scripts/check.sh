@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verification (configure + build + ctest) plus a
-# reduced-size smoke run of one benchmark so solver perf regressions that
-# only show up in the bench harness still fail fast.
+# reduced-size smoke run of the perf-tracked benchmarks, diffed against the
+# committed BENCH_*.json baselines so solver perf regressions that only show
+# up in the bench harness still fail fast.
+#
+# Each bench binary rewrites BENCH_<figure>.json in the repo root; the
+# committed copy is captured before the run and compared after. A tracked
+# series regresses when its fresh real_time exceeds the baseline by >20%.
+# Sub-0.2ms series are ignored (scheduler jitter swamps a 20% band there);
+# set FIRMAMENT_BENCH_TOLERANT=1 to report regressions without failing
+# (e.g. on noisy shared runners).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,9 +18,72 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-# Smoke: smallest fig07 sizes across the fast algorithms (small-scale mode is
-# the default; the filter keeps the run to a few seconds).
+BASELINE_DIR="$(mktemp -d)"
+trap 'rm -rf "$BASELINE_DIR"' EXIT
+FAILED=0
+
+extract_series() {
+  sed -n 's/.*"name": "\([^"]*\)".*"real_time": \([0-9.eE+-]*\).*/\1 \2/p' "$1"
+}
+
+check_regressions() {
+  local label="$1" baseline="$2" fresh="$3"
+  if [ ! -f "$baseline" ]; then
+    echo "bench-diff: no committed baseline for $label (first run?)"
+    return 0
+  fi
+  local out
+  out="$(join <(extract_series "$baseline" | sort) <(extract_series "$fresh" | sort) |
+    awk '{
+      base = $2 + 0; fresh = $3 + 0;
+      # Gate on relative AND absolute movement: single runs of sub-ms
+      # series jitter past 20% on a loaded 1-CPU runner.
+      if (base < 0.2) next;              # ms; too small to gate on
+      if (fresh > base * 1.2 && fresh - base > 0.25) {
+        printf "  REGRESSION %s: %.3f ms -> %.3f ms (+%.0f%%)\n", $1, base, fresh, (fresh / base - 1) * 100;
+      }
+    }')"
+  if [ -n "$out" ]; then
+    echo "bench-diff: $label regressed vs committed baseline:"
+    echo "$out"
+    FAILED=1
+  else
+    echo "bench-diff: $label OK (tracked series within 20% of baseline)"
+  fi
+}
+
+# Smoke: smallest fig07 sizes across the fast algorithms plus the (now
+# batch-cancelling) cycle canceling series; small-scale mode is the default
+# and the filter keeps the run to seconds.
+cp BENCH_fig07_algorithm_comparison.json "$BASELINE_DIR/fig07.json" 2>/dev/null || true
 ./build/bench_fig07_algorithm_comparison \
-  --benchmark_filter='fig07/(cost_scaling_a2|relaxation)/(50|150)/'
+  --benchmark_filter='fig07/(cost_scaling_a2|relaxation|cycle_canceling)/(50|150)/'
+check_regressions fig07 "$BASELINE_DIR/fig07.json" BENCH_fig07_algorithm_comparison.json
+
+# fig11: incremental-vs-scratch cost scaling and the persistent-view
+# preparation series (patch vs rebuild at 850 machines, <1% churn).
+cp BENCH_fig11_incremental.json "$BASELINE_DIR/fig11.json" 2>/dev/null || true
+./build/bench_fig11_incremental
+check_regressions fig11 "$BASELINE_DIR/fig11.json" BENCH_fig11_incremental.json
+
+# Acceptance guard for the incremental view: with <1% of arcs changing per
+# round, journal patching must beat a full rebuild by >= 5x and every round
+# must actually take the patch path.
+view_speedup="$(sed -n 's/.*"view_speedup": \([0-9.eE+-]*\).*/\1/p' BENCH_fig11_incremental.json | head -1)"
+patched_share="$(sed -n 's/.*"patched_share": \([0-9.eE+-]*\).*/\1/p' BENCH_fig11_incremental.json | head -1)"
+echo "view prep: patch-vs-rebuild speedup=${view_speedup:-?}x patched_share=${patched_share:-?}"
+if ! awk -v s="${view_speedup:-0}" -v p="${patched_share:-0}" 'BEGIN { exit !(s >= 5.0 && p >= 0.99) }'; then
+  echo "bench-diff: persistent-view patch path below acceptance (need >=5x and patched_share >=0.99)"
+  FAILED=1
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  if [ "${FIRMAMENT_BENCH_TOLERANT:-0}" = "1" ]; then
+    echo "check.sh: bench regressions reported (tolerated by FIRMAMENT_BENCH_TOLERANT=1)"
+  else
+    echo "check.sh: FAILED (bench regression)"
+    exit 1
+  fi
+fi
 
 echo "check.sh: OK"

@@ -50,10 +50,11 @@ SchedulerRoundResult FirmamentScheduler::RunSchedulingRound(SimTime now) {
 
 SolveStats FirmamentScheduler::StartRound(SimTime now) {
   CHECK(!round_in_flight_);
-  // Fig. 2b: update the graph, then run the solver.
+  // Fig. 2b: update the graph, then run the solver. A non-optimal outcome
+  // (infeasible cluster, budget-truncated approximate solve) is propagated
+  // through the round result instead of aborting the scheduler.
   graph_manager_.UpdateRound(now);
   pending_solve_ = solver_.Solve(graph_manager_.network());
-  CHECK(pending_solve_.outcome == SolveOutcome::kOptimal);
   algorithm_runtime_.Add(static_cast<double>(pending_solve_.runtime_us) / 1e6);
   round_in_flight_ = true;
   return pending_solve_;
@@ -65,7 +66,24 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
   WallTimer round_timer;
   SchedulerRoundResult result;
   result.solver_stats = pending_solve_;
+  result.outcome = pending_solve_.outcome;
   result.algorithm_runtime_us = pending_solve_.runtime_us;
+
+  const bool have_placements = pending_solve_.outcome == SolveOutcome::kOptimal ||
+                               pending_solve_.outcome == SolveOutcome::kApproximate;
+  if (!have_placements) {
+    // Infeasible (or cancelled) round: the network carries no meaningful
+    // flow, so extracting placements would act on stale state. Apply no
+    // deltas — running tasks keep running, waiting tasks stay unscheduled —
+    // and let the next round retry after further cluster changes.
+    for (TaskId task : cluster_->LiveTasks()) {
+      if (cluster_->task(task).state == TaskState::kWaiting) {
+        ++result.tasks_unscheduled;
+      }
+    }
+    result.total_runtime_us = round_timer.ElapsedMicros();
+    return result;
+  }
 
   ExtractionResult extraction = ExtractPlacements(graph_manager_);
 

@@ -36,6 +36,11 @@ struct SchedulingDelta {
 struct SchedulerRoundResult {
   std::vector<SchedulingDelta> deltas;
   SolveStats solver_stats;
+  // Outcome of the round's solve. kOptimal and kApproximate rounds produce
+  // placements; an infeasible round (e.g. an oversubscribed cluster after
+  // RemoveMachine) applies no deltas and leaves waiting tasks unscheduled —
+  // it does NOT abort the scheduler, which retries next round.
+  SolveOutcome outcome = SolveOutcome::kOptimal;
   uint64_t algorithm_runtime_us = 0;  // solver wall time (Fig. 2b)
   uint64_t total_runtime_us = 0;      // incl. graph update + extraction
   size_t tasks_placed = 0;

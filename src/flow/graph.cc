@@ -1,8 +1,47 @@
 #include "src/flow/graph.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace firmament {
+
+uint64_t FlowNetwork::NextUid() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+FlowNetwork::FlowNetwork(const FlowNetwork& other)
+    : nodes_(other.nodes_),
+      arcs_(other.arcs_),
+      flow_(other.flow_),
+      valid_nodes_(other.valid_nodes_),
+      free_nodes_(other.free_nodes_),
+      free_arcs_(other.free_arcs_),
+      changes_(other.changes_),
+      num_valid_arcs_(other.num_valid_arcs_),
+      uid_(NextUid()),
+      version_(other.version_),
+      journal_base_version_(other.journal_base_version_),
+      record_changes_(other.record_changes_) {}
+
+FlowNetwork& FlowNetwork::operator=(const FlowNetwork& other) {
+  if (this == &other) {
+    return *this;
+  }
+  nodes_ = other.nodes_;
+  arcs_ = other.arcs_;
+  flow_ = other.flow_;
+  valid_nodes_ = other.valid_nodes_;
+  free_nodes_ = other.free_nodes_;
+  free_arcs_ = other.free_arcs_;
+  changes_ = other.changes_;
+  num_valid_arcs_ = other.num_valid_arcs_;
+  uid_ = NextUid();
+  version_ = other.version_;
+  journal_base_version_ = other.journal_base_version_;
+  record_changes_ = other.record_changes_;
+  return *this;
+}
 
 NodeId FlowNetwork::AddNode(int64_t supply, NodeKind kind) {
   NodeId id;

@@ -69,6 +69,12 @@ struct GraphChange {
 class FlowNetwork {
  public:
   FlowNetwork() = default;
+  // Copies carry the full state (including the journal) but get a fresh uid;
+  // see uid() below. Moves preserve identity.
+  FlowNetwork(const FlowNetwork& other);
+  FlowNetwork& operator=(const FlowNetwork& other);
+  FlowNetwork(FlowNetwork&&) = default;
+  FlowNetwork& operator=(FlowNetwork&&) = default;
 
   // --- Structure mutation ------------------------------------------------
   NodeId AddNode(int64_t supply, NodeKind kind = NodeKind::kGeneric);
@@ -147,7 +153,8 @@ class FlowNetwork {
   // Resets all flow to zero (used before from-scratch solves).
   void ClearFlow();
   // Adopts the flow assignment of a structurally identical network (used by
-  // the racing solver to install the winner's solution, §6.1).
+  // benchmarks to install a reference solution; the racing solver now
+  // installs the winner via its view's WriteBackFlow).
   void CopyFlowFrom(const FlowNetwork& other) {
     CHECK_EQ(flow_.size(), other.flow_.size());
     flow_ = other.flow_;
@@ -160,10 +167,32 @@ class FlowNetwork {
   int64_t TotalPositiveSupply() const;
 
   // --- Change log -------------------------------------------------------------
-  void EnableChangeRecording(bool enabled) { record_changes_ = enabled; }
+  // Enabling recording (re)bases the journal at the current version so that
+  // `journal_base_version() + Changes().size() == version()` holds from here
+  // on; that invariant is what tells a persistent FlowNetworkView that the
+  // journal is a complete record of every mutation since its last sync.
+  void EnableChangeRecording(bool enabled) {
+    record_changes_ = enabled;
+    changes_.clear();
+    journal_base_version_ = version_;
+  }
   bool change_recording_enabled() const { return record_changes_; }
   const std::vector<GraphChange>& Changes() const { return changes_; }
-  void ClearChanges() { changes_.clear(); }
+  void ClearChanges() {
+    changes_.clear();
+    journal_base_version_ = version_;
+  }
+
+  // --- Identity / versioning ---------------------------------------------------
+  // Monotonic mutation counter (structure, costs, capacities, supplies — not
+  // flow). Together with `uid()` and `journal_base_version()` it lets a
+  // persistent FlowNetworkView decide whether the recorded journal suffix is
+  // a complete diff against its last-synced state. Copies receive a fresh
+  // uid: a copy starts structurally identical but diverges independently, so
+  // views synced against the original must not patch from the copy's journal.
+  uint64_t uid() const { return uid_; }
+  uint64_t version() const { return version_; }
+  uint64_t journal_base_version() const { return journal_base_version_; }
 
   // Human-readable summary for debugging.
   std::string DebugString() const;
@@ -188,8 +217,11 @@ class FlowNetwork {
     bool valid = false;
   };
 
+  static uint64_t NextUid();
+
   void RemoveAdjacencyEntry(NodeId node, uint32_t pos);
   void Record(GraphChange change) {
+    ++version_;
     if (record_changes_) {
       changes_.push_back(change);
     }
@@ -203,6 +235,9 @@ class FlowNetwork {
   std::vector<ArcId> free_arcs_;
   std::vector<GraphChange> changes_;
   size_t num_valid_arcs_ = 0;
+  uint64_t uid_ = NextUid();
+  uint64_t version_ = 0;
+  uint64_t journal_base_version_ = 0;
   bool record_changes_ = false;
 };
 

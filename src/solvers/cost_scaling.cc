@@ -53,6 +53,20 @@ int64_t MaxViolation(const std::vector<ResidualEntry>& star, const std::vector<i
 constexpr uint32_t kRelabelStormPeriod = 32;
 uint32_t GlobalUpdateThreshold(uint32_t num_nodes) { return 16 + num_nodes / 8; }
 
+// Arc fixing bar: an empty arc whose reduced cost exceeds kArcFixFactorN·n·ε
+// is hidden from the phase's scans. Potentials rise by at most ~3nε during
+// one refine (Goldberg–Tarjan), so no hidden arc can become admissible
+// within the phase and the repair pass is a pure safety net — a bar any
+// tighter (e.g. a small constant times ε) measurably *hurts*: single
+// relabels jump potentials by many ε, admissibility reaches past the bar,
+// and every repair re-drain inflates the push/relabel count.
+constexpr int64_t kArcFixFactorN = 3;
+// Safety valve: a node relabeling this often within one phase signals that
+// the hidden arcs may be load-bearing (e.g. an oversubscribed region whose
+// only drain is a high-cost unscheduled arc); restore them immediately
+// instead of grinding relabels against an artificially truncated star.
+constexpr uint32_t kUnfixRelabelBound = 64;
+
 }  // namespace
 
 void CostScaling::ImportPotentials(std::vector<int64_t> unscaled_potentials) {
@@ -64,13 +78,22 @@ void CostScaling::ResetState() {
   potential_.clear();
   scale_ = 0;
   has_pending_import_ = false;
+  view_.Invalidate();
 }
 
-SolveStats CostScaling::Solve(FlowNetwork* network, const std::atomic<bool>* cancel) {
+SolveStats CostScaling::SolveView(const FlowNetwork& network, const std::atomic<bool>* cancel) {
   WallTimer timer;
   SolveStats stats;
   stats.algorithm = name();
-  FlowNetworkView view(*network);
+  stats.view_prep = view_.Prepare(network);
+  FlowNetworkView& view = view_;
+  if (options_.incremental && stats.view_prep == FlowNetworkView::PrepareResult::kPatched) {
+    // Warm start from the network's current flow — the previous round's
+    // winning solution, which the patch path does not track arc-by-arc
+    // (a rebuild just snapshotted it).
+    view.SyncFlowFrom(network);
+  }
+  stats.view_prep_us = timer.ElapsedMicros();
   const uint32_t n = view.num_nodes();
   const int64_t scale = CostScaleFor(n);
   // Retained potentials (or an import from price refine) make a warm start
@@ -193,14 +216,13 @@ SolveStats CostScaling::Solve(FlowNetwork* network, const std::atomic<bool>* can
     eps0 = std::min(max_eps, scale);
   }
 
-  // Saves current potentials and (on success) the flow before returning.
-  // Successful paths sync the view from the star before reaching here, so
-  // finish() only installs the already-synced flow.
+  // Saves current potentials before returning. Successful paths sync the
+  // view's flow from the star before reaching here; flow_valid tells the
+  // Solve() wrapper (and the racing solver) whether that flow is meaningful.
   auto finish = [&](SolveStats* out) {
     view.ScatterPotentials(pi_, &potential_);
-    if (out->outcome == SolveOutcome::kOptimal || out->outcome == SolveOutcome::kApproximate) {
-      view.WriteBackFlow(network);
-    }
+    out->flow_valid =
+        out->outcome == SolveOutcome::kOptimal || out->outcome == SolveOutcome::kApproximate;
     out->runtime_us = timer.ElapsedMicros();
   };
 
@@ -226,7 +248,8 @@ SolveStats CostScaling::Solve(FlowNetwork* network, const std::atomic<bool>* can
     if (descending) {
       eps = std::max<int64_t>(1, eps / std::max<int64_t>(2, options_.alpha));
     }
-    RefineResult result = Refine(&view, eps, &stats, cancel, price_update_first, warm_budget);
+    RefineResult result = Refine(&view, eps, &stats, cancel, price_update_first, warm_budget,
+                                 options_.arc_fixing && eps < scale);
     price_update_first = false;
     if (result == RefineResult::kBudget) {
       pi_.assign(n, 0);
@@ -386,7 +409,8 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
                                               SolveStats* stats,
                                               const std::atomic<bool>* cancel,
                                               bool price_update_first,
-                                              uint64_t iteration_budget) {
+                                              uint64_t iteration_budget,
+                                              bool allow_arc_fixing) {
   FlowNetworkView& view = *view_ptr;
   const uint32_t n = view.num_nodes();
   const uint32_t m = view.num_arcs();
@@ -402,6 +426,20 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
   // each phase; thresholding at ±ε preserves the previous phase's routing
   // and leaves a fraction of the excess to repair. Excess is adjusted arc
   // by arc as flips happen.
+  //
+  // Arc fixing rides on the same sweep: an emptied arc whose reduced cost
+  // sits far above the admissibility bar (c_pi > kArcFixFactor·ε) cannot
+  // plausibly be used this phase, so its forward residual is hidden — the
+  // residual > 0 test then skips it before touching pi_[head], the random
+  // load that dominates relabel scans on high-degree aggregators. Only the
+  // forward side is ever hidden: the reverse residual doubles as the arc's
+  // flow, which SyncFlowFromStar must always see intact. The caller
+  // disables fixing for phases that restructure routing globally (the cold
+  // ε = scale jump start, where π = 0 makes every expensive-but-necessary
+  // arc look fixable).
+  const bool fixing = allow_arc_fixing;
+  const int64_t fix_bar = kArcFixFactorN * static_cast<int64_t>(n) * eps;
+  fixed_.clear();
   for (uint32_t a = 0; a < m; ++a) {
     ResidualEntry& fwd = star_[FlowNetworkView::MakeRef(a, false)];
     ResidualEntry& rev = star_[FlowNetworkView::MakeRef(a, true)];
@@ -411,11 +449,17 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
       excess_[fwd.head] += fwd.residual;
       rev.residual += fwd.residual;
       fwd.residual = 0;
-    } else if (c_pi > eps && rev.residual > 0) {
-      excess_[rev.head] += rev.residual;  // flow := 0
-      excess_[fwd.head] -= rev.residual;
-      fwd.residual += rev.residual;
-      rev.residual = 0;
+    } else if (c_pi > eps) {
+      if (rev.residual > 0) {
+        excess_[rev.head] += rev.residual;  // flow := 0
+        excess_[fwd.head] -= rev.residual;
+        fwd.residual += rev.residual;
+        rev.residual = 0;
+      }
+      if (fixing && c_pi > fix_bar && fwd.residual > 0) {
+        fixed_.emplace_back(FlowNetworkView::MakeRef(a, false), fwd.residual);
+        fwd.residual = 0;
+      }
     }
   }
 
@@ -452,6 +496,61 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
     }
   }
 
+  auto enqueue_active = [&](uint32_t v) {
+    if (wave) {
+      ++active_count;
+    } else if (!in_queue_[v]) {
+      fifo.push_back(v);
+      in_queue_[v] = true;
+    }
+  };
+
+  // The node a discharge() call is currently draining, or n when none. Its
+  // wave-mode activation token is released by discharge's own epilogue, so
+  // a repair that drains it mid-discharge must NOT also decrement
+  // active_count (the double decrement would end the sweep with undrained
+  // excess elsewhere and return an infeasible "optimal" flow).
+  uint32_t discharging = n;
+
+  // Restores every hidden residual; with `repair`, additionally saturates
+  // any restored arc the phase relabeled past its fixing bar (c_pi < -ε),
+  // enqueueing the excess that creates, and reports whether it had to.
+  // Early-exit paths restore without repair: the next refine's saturation
+  // sweep handles violations at its own ε.
+  auto restore_fixed = [&](bool repair) -> bool {
+    bool repaired = false;
+    for (const auto& [ref, residual] : fixed_) {
+      star_[ref].residual = residual;
+    }
+    if (repair) {
+      for (const auto& [ref, residual] : fixed_) {
+        ResidualEntry& fwd = star_[ref];
+        ResidualEntry& rev = star_[ref ^ 1u];
+        if (fwd.residual <= 0) {
+          continue;
+        }
+        int64_t c_pi = fwd.cost - pi_[rev.head] + pi_[fwd.head];
+        if (c_pi < -eps) {
+          bool dst_was_active = excess_[fwd.head] > 0;
+          bool src_was_active = excess_[rev.head] > 0;
+          excess_[rev.head] -= fwd.residual;
+          excess_[fwd.head] += fwd.residual;
+          rev.residual += fwd.residual;
+          fwd.residual = 0;
+          if (!dst_was_active && excess_[fwd.head] > 0) {
+            enqueue_active(fwd.head);
+          }
+          if (wave && src_was_active && excess_[rev.head] <= 0 && rev.head != discharging) {
+            --active_count;  // drained without a discharge
+          }
+          repaired = true;
+        }
+      }
+    }
+    fixed_.clear();
+    return repaired;
+  };
+
   if (price_update_first && options_.global_price_update &&
       (wave ? active_count > 0 : !fifo.empty())) {
     GlobalPriceUpdate(view, eps);
@@ -472,10 +571,11 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
   // can restore its topological order.
   const uint32_t* const adj = view.adj();
   auto discharge = [&](uint32_t v, bool* relabeled) -> RefineResult {
+    discharging = v;
     while (excess_[v] > 0) {
-      const uint32_t adj_end = view.first_out(v + 1);
+      const uint32_t v_adj_end = view.adj_end(v);
       bool pushed_or_relabeled = false;
-      while (cur_arc_[v] < adj_end) {
+      while (cur_arc_[v] < v_adj_end) {
         uint32_t ref = adj[cur_arc_[v]];
         ResidualEntry& e = star_[ref];
         if (e.residual > 0) {
@@ -490,12 +590,7 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
             excess_[w] += delta;
             ++stats->iterations;
             if (!was_active && excess_[w] > 0) {
-              if (wave) {
-                ++active_count;
-              } else if (!in_queue_[w]) {
-                fifo.push_back(w);
-                in_queue_[w] = true;
-              }
+              enqueue_active(w);
             }
             if (++pushes_since_poll >= 4096) {
               pushes_since_poll = 0;
@@ -519,7 +614,7 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
       if (excess_[v] == 0) {
         break;
       }
-      if (cur_arc_[v] >= adj_end) {
+      if (cur_arc_[v] >= v_adj_end) {
         // Relabel: lower v's reduced costs enough to create an admissible
         // arc. Tracking the first min-attaining position lets the next scan
         // resume at a known-admissible arc instead of re-walking the whole
@@ -548,6 +643,12 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
         if (++relabel_count_[v] > relabel_bound) {
           return RefineResult::kStuck;  // eps too small, or infeasible
         }
+        if (!fixed_.empty() && relabel_count_[v] >= kUnfixRelabelBound) {
+          // Relabel storm with arcs hidden: the truncated star may be what
+          // the storm is grinding against. Restore-and-repair (one-shot;
+          // fixed_ drains) before the grind escalates.
+          restore_fixed(/*repair=*/true);
+        }
         if (iteration_budget != 0 && stats->iterations - start_iterations > iteration_budget) {
           return RefineResult::kBudget;
         }
@@ -570,65 +671,102 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
     return RefineResult::kOk;
   };
 
-  if (wave) {
-    // Wave ordering: every node sits in an intrusive doubly-linked list that
-    // approximates a topological order of the admissible network. Sweeping
-    // front-to-back discharges upstream nodes before the nodes their excess
-    // lands on, so one pass moves excess many hops towards the deficits. A
-    // relabeled node's admissible in-arcs vanish, so moving it to the front
-    // restores the order without any priority queue.
-    const uint32_t sentinel = n;
-    list_next_.resize(n + 1);
-    list_prev_.resize(n + 1);
-    list_next_[sentinel] = n == 0 ? sentinel : 0;
-    list_prev_[sentinel] = n == 0 ? sentinel : n - 1;
-    for (uint32_t v = 0; v < n; ++v) {
-      list_next_[v] = v + 1 == n ? sentinel : v + 1;
-      list_prev_[v] = v == 0 ? sentinel : v - 1;
+  // A discharge that runs dry behind hidden arcs is not proof of
+  // infeasibility: restore (with repair, so no violation can outlive the
+  // phase) and retry before propagating kNoPath.
+  auto discharge_with_unfix = [&](uint32_t v, bool* relabeled) -> RefineResult {
+    RefineResult result = discharge(v, relabeled);
+    if (result == RefineResult::kNoPath && !fixed_.empty()) {
+      restore_fixed(/*repair=*/true);
+      result = discharge(v, relabeled);
     }
-    auto move_to_front = [&](uint32_t v) {
-      if (list_prev_[v] == sentinel) {
-        return;
+    return result;
+  };
+
+  // Outer loop: drain the active set; then, if arcs were fixed, restore
+  // them and repair any the phase relabeled past the fixing bar — repairs
+  // re-create excess, which is re-drained (with fixing spent for this
+  // phase) until the phase ends clean.
+  for (;;) {
+    if (wave) {
+      // Wave ordering: every node sits in an intrusive doubly-linked list
+      // that approximates a topological order of the admissible network.
+      // Sweeping front-to-back discharges upstream nodes before the nodes
+      // their excess lands on, so one pass moves excess many hops towards
+      // the deficits. A relabeled node's admissible in-arcs vanish, so
+      // moving it to the front restores the order without any priority
+      // queue.
+      const uint32_t sentinel = n;
+      list_next_.resize(n + 1);
+      list_prev_.resize(n + 1);
+      list_next_[sentinel] = n == 0 ? sentinel : 0;
+      list_prev_[sentinel] = n == 0 ? sentinel : n - 1;
+      for (uint32_t v = 0; v < n; ++v) {
+        list_next_[v] = v + 1 == n ? sentinel : v + 1;
+        list_prev_[v] = v == 0 ? sentinel : v - 1;
       }
-      list_next_[list_prev_[v]] = list_next_[v];
-      list_prev_[list_next_[v]] = list_prev_[v];
-      list_next_[v] = list_next_[sentinel];
-      list_prev_[list_next_[sentinel]] = v;
-      list_next_[sentinel] = v;
-      list_prev_[v] = sentinel;
-    };
-    while (active_count > 0) {
-      order_dirty = false;
-      for (uint32_t v = list_next_[sentinel]; v != sentinel && active_count > 0;) {
-        uint32_t next = list_next_[v];
-        if (excess_[v] > 0) {
-          bool relabeled = false;
-          RefineResult result = discharge(v, &relabeled);
-          if (result != RefineResult::kOk) {
-            return result;
-          }
-          if (relabeled) {
-            move_to_front(v);
-          }
-          if (order_dirty) {
-            break;  // a global update repriced everything; restart the sweep
-          }
+      auto move_to_front = [&](uint32_t v) {
+        if (list_prev_[v] == sentinel) {
+          return;
         }
-        v = next;
+        list_next_[list_prev_[v]] = list_next_[v];
+        list_prev_[list_next_[v]] = list_prev_[v];
+        list_next_[v] = list_next_[sentinel];
+        list_prev_[list_next_[sentinel]] = v;
+        list_next_[sentinel] = v;
+        list_prev_[v] = sentinel;
+      };
+      while (active_count > 0) {
+        order_dirty = false;
+        for (uint32_t v = list_next_[sentinel]; v != sentinel && active_count > 0;) {
+          uint32_t next = list_next_[v];
+          if (excess_[v] > 0) {
+            bool relabeled = false;
+            RefineResult result = discharge_with_unfix(v, &relabeled);
+            if (result != RefineResult::kOk) {
+              restore_fixed(/*repair=*/false);
+              return result;
+            }
+            if (relabeled) {
+              move_to_front(v);
+            }
+            if (order_dirty) {
+              break;  // a global update repriced everything; restart the sweep
+            }
+          }
+          v = next;
+        }
+      }
+    } else {
+      while (!fifo.empty()) {
+        uint32_t v = fifo.front();
+        fifo.pop_front();
+        in_queue_[v] = false;
+        bool relabeled = false;
+        RefineResult result = discharge_with_unfix(v, &relabeled);
+        if (result != RefineResult::kOk) {
+          restore_fixed(/*repair=*/false);
+          return result;
+        }
       }
     }
-  } else {
-    while (!fifo.empty()) {
-      uint32_t v = fifo.front();
-      fifo.pop_front();
-      in_queue_[v] = false;
-      bool relabeled = false;
-      RefineResult result = discharge(v, &relabeled);
-      if (result != RefineResult::kOk) {
-        return result;
-      }
+    if (fixed_.empty()) {
+      break;
     }
+    discharging = n;  // between discharges: repair owns every drain
+    if (!restore_fixed(/*repair=*/true)) {
+      break;  // nothing violated its fixing bar; the phase is clean
+    }
+    // Repair saturations enqueued fresh excess; drain it too.
   }
+#ifndef NDEBUG
+  // kOk certifies feasibility; a drain loop that exited early (e.g. a
+  // miscounted wave active set) would leave positive excess behind and
+  // silently return an infeasible "optimal" flow.
+  for (uint32_t v = 0; v < n; ++v) {
+    DCHECK_LE(excess_[v], 0);
+  }
+#endif
   return RefineResult::kOk;
 }
 

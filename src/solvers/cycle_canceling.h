@@ -5,6 +5,11 @@
 // in the residual network until none remain (negative cycle optimality).
 // Always maintains feasibility and works towards optimality. Included for
 // completeness and for the Fig. 7 comparison, where it performs worst.
+//
+// Negative cycles are found by Bellman-Ford with amortized batch
+// extraction: one detection pass yields a maximal set of vertex-disjoint
+// negative cycles, all of which are cancelled before the next pass, instead
+// of paying a full O(n·m) label-correcting pass per cancelled cycle.
 
 #ifndef SRC_SOLVERS_CYCLE_CANCELING_H_
 #define SRC_SOLVERS_CYCLE_CANCELING_H_
@@ -17,7 +22,8 @@ class CycleCanceling : public McmfSolver {
  public:
   CycleCanceling() = default;
 
-  SolveStats Solve(FlowNetwork* network, const std::atomic<bool>* cancel = nullptr) override;
+  SolveStats SolveView(const FlowNetwork& network,
+                       const std::atomic<bool>* cancel = nullptr) override;
   std::string name() const override { return "cycle_canceling"; }
 };
 

@@ -2,8 +2,22 @@
 //
 // A solver takes a FlowNetwork carrying supplies and (for incremental
 // solvers) the previous flow assignment, and computes a feasible min-cost
-// flow in place. Solvers are cancellable so that the racing solver (§6.1)
-// can abort the slower algorithm once the faster one finishes.
+// flow. Solvers are cancellable so that the racing solver (§6.1) can abort
+// the slower algorithm once the faster one finishes.
+//
+// Every solver owns a *persistent* FlowNetworkView of the network it
+// solves. At each solve the view is brought up to date via
+// FlowNetworkView::Prepare(): patched in O(|changes|) from the network's
+// GraphChange journal when the delta is small (the §5.2/§6.2 incremental
+// contract), rebuilt otherwise — the taken path and its cost are reported
+// in SolveStats. Two entry points exist so the racing solver can run two
+// algorithms concurrently against one const network:
+//  * SolveView() solves on the persistent view and leaves the flow there.
+//  * Solve() wraps SolveView() and writes the flow back into the network
+//    when the solve produced one (stats.flow_valid).
+// Neither clears the network's change journal — the canonical consumer
+// (RacingSolver::Solve) does that once per round after every algorithm's
+// view has synced.
 
 #ifndef SRC_SOLVERS_MCMF_SOLVER_H_
 #define SRC_SOLVERS_MCMF_SOLVER_H_
@@ -12,6 +26,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/flow/flow_network_view.h"
 #include "src/flow/graph.h"
 
 namespace firmament {
@@ -33,6 +48,13 @@ struct SolveStats {
   // Number of dual-ascent price rises (relaxation) or refine phases
   // (cost scaling); 0 for algorithms without such a notion.
   uint64_t phases = 0;
+  // How the solver's persistent view was brought in sync with the network
+  // this round, and what that preparation (patch/rebuild + flow sync) cost.
+  FlowNetworkView::PrepareResult view_prep = FlowNetworkView::PrepareResult::kBuilt;
+  uint64_t view_prep_us = 0;
+  // Whether the view holds a meaningful flow for this outcome (set by the
+  // solver; consumed by Solve()'s writeback and the racing solver).
+  bool flow_valid = false;
   std::string algorithm;
 
   bool optimal() const { return outcome == SolveOutcome::kOptimal; }
@@ -45,15 +67,32 @@ class McmfSolver {
   McmfSolver(const McmfSolver&) = delete;
   McmfSolver& operator=(const McmfSolver&) = delete;
 
-  // Computes a min-cost flow for `network`, leaving the result in the
-  // network's per-arc flow. If `cancel` is non-null and becomes true, the
-  // solver returns early with SolveOutcome::kCancelled.
-  virtual SolveStats Solve(FlowNetwork* network, const std::atomic<bool>* cancel = nullptr) = 0;
+  // Computes a min-cost flow on the solver's persistent view of `network`,
+  // leaving the result in the view. If `cancel` is non-null and becomes
+  // true, the solver returns early with SolveOutcome::kCancelled. The
+  // network is not mutated (safe to race two solvers against one network).
+  virtual SolveStats SolveView(const FlowNetwork& network,
+                               const std::atomic<bool>* cancel = nullptr) = 0;
+
+  // Convenience wrapper: solve and install the resulting flow into the
+  // network's per-arc flow (when the outcome produced one).
+  SolveStats Solve(FlowNetwork* network, const std::atomic<bool>* cancel = nullptr) {
+    SolveStats stats = SolveView(*network, cancel);
+    if (stats.flow_valid) {
+      view_.WriteBackFlow(network);
+    }
+    return stats;
+  }
 
   virtual std::string name() const = 0;
 
+  FlowNetworkView& view() { return view_; }
+
  protected:
   McmfSolver() = default;
+
+  // The persistent, incrementally-patched view (§6.2).
+  FlowNetworkView view_;
 };
 
 }  // namespace firmament

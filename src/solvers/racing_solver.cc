@@ -61,19 +61,18 @@ SolveStats RacingSolver::Solve(FlowNetwork* network) {
 }
 
 SolveStats RacingSolver::SolveRace(FlowNetwork* network) {
-  // Both mirrors start from the canonical state: the previous round's
-  // winning flow with this round's graph changes applied. Relaxation resets
-  // the flow internally; incremental cost scaling warm-starts from it.
-  relax_net_ = *network;
-  cs_net_ = *network;
-
+  // Both algorithms race on their own persistent views of the one const
+  // canonical network: each view starts from the previous round's winning
+  // flow (SyncFlowFrom) with this round's journal patched in. No network
+  // copies are made — the former per-round mirror copies cost two O(n + m)
+  // copy-constructions and silently carried the source's change journal.
   std::atomic<bool> cancel_relax{false};
   std::atomic<bool> cancel_cs{false};
   std::atomic<int> winner{-1};  // 0 = relaxation, 1 = cost scaling
 
   SolveStats cs_stats;
   std::thread cs_thread([&] {
-    cs_stats = cost_scaling_.Solve(&cs_net_, &cancel_cs);
+    cs_stats = cost_scaling_.SolveView(*network, &cancel_cs);
     if (cs_stats.outcome != SolveOutcome::kCancelled) {
       int expected = -1;
       if (winner.compare_exchange_strong(expected, 1)) {
@@ -82,7 +81,7 @@ SolveStats RacingSolver::SolveRace(FlowNetwork* network) {
     }
   });
 
-  SolveStats relax_stats = relaxation_.Solve(&relax_net_, &cancel_relax);
+  SolveStats relax_stats = relaxation_.SolveView(*network, &cancel_relax);
   if (relax_stats.outcome != SolveOutcome::kCancelled) {
     int expected = -1;
     if (winner.compare_exchange_strong(expected, 0)) {
@@ -99,9 +98,10 @@ SolveStats RacingSolver::SolveRace(FlowNetwork* network) {
   const bool relaxation_won = winner_idx == 0;
   SolveStats result = relaxation_won ? relax_stats : cs_stats;
   if (result.outcome != SolveOutcome::kOptimal) {
-    return result;  // infeasible; flow state is meaningless
+    result.flow_valid = false;  // infeasible; no flow is installed
+    return result;
   }
-  network->CopyFlowFrom(relaxation_won ? relax_net_ : cs_net_);
+  (relaxation_won ? relaxation_.view() : cost_scaling_.view()).WriteBackFlow(network);
 
   if (relaxation_won) {
     // Hand the solution to incremental cost scaling for the next round. With

@@ -9,6 +9,14 @@
 // State handoff (§6.2): when relaxation wins, price refine recomputes
 // reduced potentials from its solution so the next incremental cost scaling
 // run warm-starts cheaply (Fig. 13 shows 4x).
+//
+// Race isolation (§6.2 incremental contract): both algorithms race on their
+// own *persistent* FlowNetworkViews of the one canonical (const) network —
+// each view is patched from the round's GraphChange journal rather than the
+// network being copy-constructed per algorithm per round — and the winner's
+// view writes its flow back. This class is the journal's canonical
+// consumer: Solve() clears the network's change log once every algorithm's
+// view has synced past it.
 
 #ifndef SRC_SOLVERS_RACING_SOLVER_H_
 #define SRC_SOLVERS_RACING_SOLVER_H_
@@ -74,8 +82,6 @@ class RacingSolver {
   RacingSolverOptions options_;
   Relaxation relaxation_;
   CostScaling cost_scaling_;
-  FlowNetwork relax_net_;
-  FlowNetwork cs_net_;
   RoundStats last_round_;
 };
 

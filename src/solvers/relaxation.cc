@@ -9,6 +9,7 @@ namespace firmament {
 
 void Relaxation::ResetState() {
   potential_.clear();
+  view_.Invalidate();
 }
 
 void Relaxation::UpdateExcess(uint32_t node, int64_t delta) {
@@ -108,13 +109,21 @@ void Relaxation::Augment(FlowNetworkView* view_ptr, uint32_t root, uint32_t defi
   ++stats->iterations;  // augmentations
 }
 
-SolveStats Relaxation::Solve(FlowNetwork* network, const std::atomic<bool>* cancel) {
+SolveStats Relaxation::SolveView(const FlowNetwork& network, const std::atomic<bool>* cancel) {
   WallTimer timer;
   SolveStats stats;
   stats.algorithm = name();
-  FlowNetworkView view(*network);
+  stats.view_prep = view_.Prepare(network);
+  FlowNetworkView& view = view_;
   const uint32_t n = view.num_nodes();
 
+  if (options_.incremental && stats.view_prep == FlowNetworkView::PrepareResult::kPatched) {
+    // Warm start from the network's current flow (the previous round's
+    // winner), which the patch path does not track arc-by-arc (a rebuild
+    // just snapshotted it); potentials are gathered below.
+    view.SyncFlowFrom(network);
+  }
+  stats.view_prep_us = timer.ElapsedMicros();
   if (options_.incremental) {
     view.GatherPotentials(potential_, &pi_);
   } else {
@@ -126,9 +135,7 @@ SolveStats Relaxation::Solve(FlowNetwork* network, const std::atomic<bool>* canc
   // dense renumbering; translate back on every exit.
   auto finish = [&](SolveStats* out, bool install_flow) {
     view.ScatterPotentials(pi_, &potential_);
-    if (install_flow) {
-      view.WriteBackFlow(network);
-    }
+    out->flow_valid = install_flow;
     out->runtime_us = timer.ElapsedMicros();
   };
 

@@ -46,7 +46,8 @@ class Relaxation : public McmfSolver {
  public:
   explicit Relaxation(RelaxationOptions options = {}) : options_(options) {}
 
-  SolveStats Solve(FlowNetwork* network, const std::atomic<bool>* cancel = nullptr) override;
+  SolveStats SolveView(const FlowNetwork& network,
+                       const std::atomic<bool>* cancel = nullptr) override;
   std::string name() const override {
     return options_.incremental ? "incremental_relaxation" : "relaxation";
   }

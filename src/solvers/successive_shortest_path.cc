@@ -17,11 +17,14 @@ constexpr uint32_t kNoRef = FlowNetworkView::kInvalidRef;
 
 }  // namespace
 
-SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic<bool>* cancel) {
+SolveStats SuccessiveShortestPath::SolveView(const FlowNetwork& network,
+                                             const std::atomic<bool>* cancel) {
   WallTimer timer;
   SolveStats stats;
   stats.algorithm = name();
-  FlowNetworkView view(*network);
+  stats.view_prep = view_.Prepare(network);
+  stats.view_prep_us = timer.ElapsedMicros();
+  FlowNetworkView& view = view_;
   view.ClearFlow();
   const uint32_t n = view.num_nodes();
 
@@ -144,8 +147,8 @@ SolveStats SuccessiveShortestPath::Solve(FlowNetwork* network, const std::atomic
     ++stats.iterations;
   }
 
-  view.WriteBackFlow(network);
   stats.total_cost = view.TotalCost();
+  stats.flow_valid = true;
   stats.runtime_us = timer.ElapsedMicros();
   return stats;
 }

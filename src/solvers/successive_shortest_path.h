@@ -19,7 +19,8 @@ class SuccessiveShortestPath : public McmfSolver {
  public:
   SuccessiveShortestPath() = default;
 
-  SolveStats Solve(FlowNetwork* network, const std::atomic<bool>* cancel = nullptr) override;
+  SolveStats SolveView(const FlowNetwork& network,
+                       const std::atomic<bool>* cancel = nullptr) override;
   std::string name() const override { return "successive_shortest_path"; }
 };
 

@@ -184,6 +184,66 @@ TEST_P(FailureSweepTest, MachineFailuresRescheduleEverything) {
 INSTANTIATE_TEST_SUITE_P(Policies, FailureSweepTest, ::testing::Range(0, 4));
 
 // ---------------------------------------------------------------------------
+// Infeasible rounds must not crash the scheduler: the outcome is propagated
+// in SchedulerRoundResult, no deltas are applied, tasks stay waiting, and a
+// later feasible round recovers.
+// ---------------------------------------------------------------------------
+
+class InfeasibleRoundTest : public ::testing::TestWithParam<SolverMode> {};
+
+TEST_P(InfeasibleRoundTest, InfeasibleRoundLeavesTasksUnscheduledAndRecovers) {
+  auto stack = MakeStack(Policy::kLoadSpreading, 1, 2, 2, GetParam());
+  stack->scheduler->SubmitJob(JobType::kBatch, 0,
+                              std::vector<TaskDescriptor>(6, TaskDescriptor{}), 0);
+
+  // Sever the escape hatch: cap the job's unscheduled-aggregator -> sink arc
+  // at zero. With 6 tasks and only 4 slots, the round is now infeasible —
+  // the situation a crashed machine's worth of capacity loss used to
+  // hard-CHECK the process on.
+  FlowNetwork* net = stack->scheduler->graph_manager().network();
+  NodeId sink = stack->scheduler->graph_manager().sink();
+  ArcId unsched_to_sink = kInvalidArcId;
+  int64_t original_capacity = 0;
+  for (NodeId node : net->ValidNodes()) {
+    if (net->Kind(node) != NodeKind::kUnscheduled) {
+      continue;
+    }
+    for (ArcRef ref : net->Adjacency(node)) {
+      if (!FlowNetwork::RefIsReverse(ref) &&
+          net->Dst(FlowNetwork::RefArc(ref)) == sink) {
+        unsched_to_sink = FlowNetwork::RefArc(ref);
+        original_capacity = net->Capacity(unsched_to_sink);
+      }
+    }
+  }
+  ASSERT_NE(unsched_to_sink, kInvalidArcId);
+  net->SetArcCapacity(unsched_to_sink, 0);
+
+  SchedulerRoundResult result = stack->scheduler->RunSchedulingRound(kSec);
+  EXPECT_EQ(result.outcome, SolveOutcome::kInfeasible);
+  EXPECT_TRUE(result.deltas.empty());
+  EXPECT_EQ(result.tasks_placed, 0u);
+  EXPECT_EQ(result.tasks_unscheduled, 6u);
+  for (TaskId task : stack->cluster.LiveTasks()) {
+    EXPECT_EQ(stack->cluster.task(task).state, TaskState::kWaiting);
+  }
+
+  // Restore the unscheduled capacity; the next round must recover, placing
+  // up to the 4 available slots and routing the rest through the
+  // unscheduled aggregator.
+  net->SetArcCapacity(unsched_to_sink, original_capacity);
+  SchedulerRoundResult recovered = stack->scheduler->RunSchedulingRound(2 * kSec);
+  EXPECT_EQ(recovered.outcome, SolveOutcome::kOptimal);
+  EXPECT_EQ(recovered.tasks_placed, 4u);
+  EXPECT_EQ(recovered.tasks_unscheduled, 2u);
+  VerifyInvariants(stack.get(), "infeasible recovery");
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, InfeasibleRoundTest,
+                         ::testing::Values(SolverMode::kRace, SolverMode::kCostScalingOnly,
+                                           SolverMode::kRelaxationOnly));
+
+// ---------------------------------------------------------------------------
 // Wait-cost growth eventually schedules starving tasks (no permanent
 // starvation while capacity exists).
 // ---------------------------------------------------------------------------
