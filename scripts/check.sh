@@ -6,8 +6,10 @@
 #
 # Each bench binary rewrites BENCH_<figure>.json in the repo root; the
 # committed copy is captured before the run and compared after. A tracked
-# series regresses when its fresh real_time exceeds the baseline by >20%.
-# Sub-0.2ms series are ignored (scheduler jitter swamps a 20% band there);
+# series regresses when its fresh real_time exceeds the baseline by >20%
+# (and by >0.25 ms absolute) in BOTH of two runs — single runs jitter past
+# 20% on a loaded 1-CPU runner, so a flagged figure is re-run once and the
+# per-series minimum is what gates. Sub-0.2ms series are ignored entirely;
 # set FIRMAMENT_BENCH_TOLERANT=1 to report regressions without failing
 # (e.g. on noisy shared runners).
 set -euo pipefail
@@ -26,25 +28,43 @@ extract_series() {
   sed -n 's/.*"name": "\([^"]*\)".*"real_time": \([0-9.eE+-]*\).*/\1 \2/p' "$1"
 }
 
+# Prints the regressed series of $2 (baseline extract) vs $3 (fresh
+# extract); empty output means clean.
+diff_series() {
+  join "$1" "$2" | awk '{
+    base = $2 + 0; fresh = $3 + 0;
+    if (base < 0.2) next;              # ms; too small to gate on
+    if (fresh > base * 1.2 && fresh - base > 0.25) {
+      printf "  REGRESSION %s: %.3f ms -> %.3f ms (+%.0f%%)\n", $1, base, fresh, (fresh / base - 1) * 100;
+    }
+  }'
+}
+
+# Runs `label baseline_json fresh_json rerun_cmd...`: compares fresh vs
+# baseline; if anything regressed, re-runs the bench once and gates on the
+# per-series minimum of the two runs so one noisy run cannot fail CI.
 check_regressions() {
   local label="$1" baseline="$2" fresh="$3"
+  shift 3
   if [ ! -f "$baseline" ]; then
     echo "bench-diff: no committed baseline for $label (first run?)"
     return 0
   fi
+  extract_series "$baseline" | sort > "$BASELINE_DIR/$label.base"
+  extract_series "$fresh" | sort > "$BASELINE_DIR/$label.run1"
   local out
-  out="$(join <(extract_series "$baseline" | sort) <(extract_series "$fresh" | sort) |
-    awk '{
-      base = $2 + 0; fresh = $3 + 0;
-      # Gate on relative AND absolute movement: single runs of sub-ms
-      # series jitter past 20% on a loaded 1-CPU runner.
-      if (base < 0.2) next;              # ms; too small to gate on
-      if (fresh > base * 1.2 && fresh - base > 0.25) {
-        printf "  REGRESSION %s: %.3f ms -> %.3f ms (+%.0f%%)\n", $1, base, fresh, (fresh / base - 1) * 100;
-      }
-    }')"
+  out="$(diff_series "$BASELINE_DIR/$label.base" "$BASELINE_DIR/$label.run1")"
   if [ -n "$out" ]; then
-    echo "bench-diff: $label regressed vs committed baseline:"
+    echo "bench-diff: $label moved past the gate; re-running once to confirm"
+    "$@"
+    extract_series "$fresh" | sort > "$BASELINE_DIR/$label.run2"
+    join "$BASELINE_DIR/$label.run1" "$BASELINE_DIR/$label.run2" |
+      awk '{ a = $2 + 0; b = $3 + 0; print $1, (a < b ? a : b) }' |
+      sort > "$BASELINE_DIR/$label.min"
+    out="$(diff_series "$BASELINE_DIR/$label.base" "$BASELINE_DIR/$label.min")"
+  fi
+  if [ -n "$out" ]; then
+    echo "bench-diff: $label regressed vs committed baseline (confirmed over 2 runs):"
     echo "$out"
     FAILED=1
   else
@@ -55,16 +75,19 @@ check_regressions() {
 # Smoke: smallest fig07 sizes across the fast algorithms plus the (now
 # batch-cancelling) cycle canceling series; small-scale mode is the default
 # and the filter keeps the run to seconds.
+run_fig07() {
+  ./build/bench_fig07_algorithm_comparison \
+    --benchmark_filter='fig07/(cost_scaling_a2|relaxation|cycle_canceling)/(50|150)/'
+}
 cp BENCH_fig07_algorithm_comparison.json "$BASELINE_DIR/fig07.json" 2>/dev/null || true
-./build/bench_fig07_algorithm_comparison \
-  --benchmark_filter='fig07/(cost_scaling_a2|relaxation|cycle_canceling)/(50|150)/'
-check_regressions fig07 "$BASELINE_DIR/fig07.json" BENCH_fig07_algorithm_comparison.json
+run_fig07
+check_regressions fig07 "$BASELINE_DIR/fig07.json" BENCH_fig07_algorithm_comparison.json run_fig07
 
 # fig11: incremental-vs-scratch cost scaling and the persistent-view
 # preparation series (patch vs rebuild at 850 machines, <1% churn).
 cp BENCH_fig11_incremental.json "$BASELINE_DIR/fig11.json" 2>/dev/null || true
 ./build/bench_fig11_incremental
-check_regressions fig11 "$BASELINE_DIR/fig11.json" BENCH_fig11_incremental.json
+check_regressions fig11 "$BASELINE_DIR/fig11.json" BENCH_fig11_incremental.json ./build/bench_fig11_incremental
 
 # Acceptance guard for the incremental view: with <1% of arcs changing per
 # round, journal patching must beat a full rebuild by >= 5x and every round
