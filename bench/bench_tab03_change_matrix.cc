@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "src/base/timer.h"
 #include "src/solvers/cost_scaling.h"
 #include "src/solvers/solution_checker.h"
 #include "src/solvers/solver_util.h"
@@ -93,7 +94,12 @@ void ChangeMatrix(benchmark::State& state) {
   bench::BenchEnv env(bench::PolicyKind::kLoadSpreading, 40, 4);
   SimTime now = env.FillToUtilization(0.9, 0);
   env.SubmitBatchJob(20, now);
+  // Time the delta-driven graph update folding the 20-task submission in;
+  // emitted alongside fig11's series so the change-matrix run also tracks
+  // the producer-side cost.
+  WallTimer update_timer;
   env.manager().UpdateRound(now);
+  state.counters["graph_update_us"] = static_cast<double>(update_timer.ElapsedMicros());
   CostScaling solver;
   SolveStats stats;
   for (auto _ : state) {

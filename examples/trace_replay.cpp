@@ -59,6 +59,12 @@ int main(int argc, char** argv) {
     std::printf("algorithm runtime  [s]:   %s\n",
                 metrics.algorithm_runtime_seconds.BoxStats().c_str());
   }
+  if (!metrics.graph_update_seconds.empty()) {
+    // Fig. 2b's "total minus algorithm" slice: the per-round graph update,
+    // O(|changed|) under the delta-driven policy API.
+    std::printf("graph update       [s]:   %s\n",
+                metrics.graph_update_seconds.BoxStats().c_str());
+  }
   if (!metrics.placement_latency_seconds.empty()) {
     std::printf("placement latency  [s]:   %s\n",
                 metrics.placement_latency_seconds.BoxStats().c_str());

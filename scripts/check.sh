@@ -100,6 +100,19 @@ if ! awk -v s="${view_speedup:-0}" -v p="${patched_share:-0}" 'BEGIN { exit !(s 
   FAILED=1
 fi
 
+# Acceptance guard for the delta-driven policy API: at 850 machines with <1%
+# per-round task churn, the graph-update pass (stats drain + policy arc
+# deltas) must beat the legacy full-refresh path by >= 5x under every
+# benched policy.
+while read -r gu_speedup; do
+  [ -n "$gu_speedup" ] || continue
+  echo "graph update: delta-vs-full speedup=${gu_speedup}x"
+  if ! awk -v s="$gu_speedup" 'BEGIN { exit !(s >= 5.0) }'; then
+    echo "bench-diff: delta graph update below acceptance (need >=5x vs full refresh)"
+    FAILED=1
+  fi
+done < <(sed -n 's/.*"graph_update_speedup": \([0-9.eE+-]*\).*/\1/p' BENCH_fig11_incremental.json)
+
 if [ "$FAILED" -ne 0 ]; then
   if [ "${FIRMAMENT_BENCH_TOLERANT:-0}" = "1" ]; then
     echo "check.sh: bench regressions reported (tolerated by FIRMAMENT_BENCH_TOLERANT=1)"

@@ -81,6 +81,8 @@ void ClusterState::PlaceTask(TaskId task_id, MachineId machine, SimTime now) {
   task.total_wait += now - task.submit_time;
   machines_[machine].running_tasks += 1;
   machines_[machine].used_bandwidth_mbps += task.bandwidth_request_mbps;
+  dirty_machines_.insert(machine);
+  dirty_tasks_.insert(task_id);
 }
 
 void ClusterState::EvictTask(TaskId task_id, SimTime now) {
@@ -89,6 +91,8 @@ void ClusterState::EvictTask(TaskId task_id, SimTime now) {
   MachineDescriptor& machine = machines_[task.machine];
   machine.running_tasks -= 1;
   machine.used_bandwidth_mbps -= task.bandwidth_request_mbps;
+  dirty_machines_.insert(task.machine);
+  dirty_tasks_.insert(task_id);
   task.state = TaskState::kWaiting;
   task.machine = kInvalidMachineId;
   // Eviction restarts the wait clock; accumulated wait is preserved in
@@ -102,6 +106,8 @@ void ClusterState::CompleteTask(TaskId task_id, SimTime now) {
   MachineDescriptor& machine = machines_[task.machine];
   machine.running_tasks -= 1;
   machine.used_bandwidth_mbps -= task.bandwidth_request_mbps;
+  dirty_machines_.insert(task.machine);
+  dirty_tasks_.insert(task_id);
   task.state = TaskState::kCompleted;
   task.finish_time = now;
 }
@@ -111,6 +117,7 @@ void ClusterState::ForgetTask(TaskId task_id) {
   CHECK(it != tasks_.end());
   CHECK(it->second.state == TaskState::kCompleted);
   tasks_.erase(it);
+  dirty_tasks_.erase(task_id);
 }
 
 std::vector<TaskId> ClusterState::LiveTasks() const {

@@ -2,14 +2,17 @@
 // and the load/bandwidth statistics that scheduling policies consume.
 //
 // This is the "cluster manager" state of Fig. 4: jobs and tasks, monitoring
-// data, and cluster topology feeding the scheduling policy. The statistics
-// refresh before each scheduling round corresponds to the first of the two
-// flow-network update passes described in §6.3.
+// data, and cluster topology feeding the scheduling policy. Per-machine
+// statistics are maintained incrementally by the task lifecycle methods
+// (§6.3 first pass without the full rebuild): every mutation marks the
+// affected machine and task dirty, and the FlowGraphManager drains those
+// dirty sets each round so the graph update touches only what changed.
 
 #ifndef SRC_CORE_CLUSTER_H_
 #define SRC_CORE_CLUSTER_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -88,7 +91,12 @@ class ClusterState {
   size_t num_machines() const { return num_alive_machines_; }
   const std::vector<MachineId>& MachinesInRack(RackId rack) const { return racks_[rack]; }
   const MachineDescriptor& machine(MachineId id) const { return machines_[id]; }
-  MachineDescriptor& mutable_machine(MachineId id) { return machines_[id]; }
+  // Mutable access marks the machine statistics-dirty: out-of-band changes
+  // (background bandwidth, spec edits) must reach the next graph update.
+  MachineDescriptor& mutable_machine(MachineId id) {
+    dirty_machines_.insert(id);
+    return machines_[id];
+  }
   const std::vector<MachineDescriptor>& machines() const { return machines_; }
   RackId RackOf(MachineId machine) const { return machines_[machine].rack; }
 
@@ -113,8 +121,23 @@ class ClusterState {
   std::vector<TaskId> LiveTasks() const;
   std::vector<TaskId> RunningTasksOn(MachineId machine) const;
 
-  // Recomputes per-machine statistics from task state (§6.3 first pass).
+  // Recomputes per-machine statistics from task state from scratch. The
+  // statistics are maintained incrementally by PlaceTask/EvictTask/
+  // CompleteTask, so this is only needed to repair out-of-band corruption or
+  // to time the legacy full-refresh path; it does not mark anything dirty
+  // (it converges to the same values the incremental path maintains).
   void RefreshStatistics();
+
+  // --- Dirty tracking (consumed by FlowGraphManager::UpdateRound) ---------
+  // Machines whose statistics changed and tasks whose state changed
+  // (placed / evicted / completed) since the last ClearDirty. Ordered so the
+  // per-round graph update iterates deterministically without re-sorting.
+  const std::set<MachineId>& dirty_machines() const { return dirty_machines_; }
+  const std::set<TaskId>& dirty_tasks() const { return dirty_tasks_; }
+  void ClearDirty() {
+    dirty_machines_.clear();
+    dirty_tasks_.clear();
+  }
 
   // Total slots across alive machines; used for utilization accounting.
   int64_t TotalSlots() const;
@@ -125,6 +148,8 @@ class ClusterState {
   std::vector<std::vector<MachineId>> racks_;
   std::unordered_map<JobId, JobDescriptor> jobs_;
   std::unordered_map<TaskId, TaskDescriptor> tasks_;
+  std::set<MachineId> dirty_machines_;
+  std::set<TaskId> dirty_tasks_;
   size_t num_alive_machines_ = 0;
   JobId next_job_id_ = 0;
   TaskId next_task_id_ = 0;

@@ -34,6 +34,16 @@ TaskId FlowGraphManager::TaskForNode(NodeId node) const {
   return it == node_to_task_.end() ? kInvalidTaskId : it->second;
 }
 
+std::string FlowGraphManager::AggregatorKeyForNode(NodeId node) const {
+  auto it = node_to_aggregator_.find(node);
+  return it == node_to_aggregator_.end() ? std::string() : it->second;
+}
+
+JobId FlowGraphManager::JobForUnscheduledNode(NodeId node) const {
+  auto it = node_to_job_.find(node);
+  return it == node_to_job_.end() ? kInvalidJobId : it->second;
+}
+
 NodeId FlowGraphManager::GetOrCreateAggregator(const std::string& key) {
   auto it = aggregators_.find(key);
   if (it != aggregators_.end()) {
@@ -65,6 +75,7 @@ void FlowGraphManager::AddMachine(MachineId machine) {
   node_to_machine_.emplace(node, machine);
   ArcId to_sink = network_.AddArc(node, sink_, cluster_->machine(machine).spec.slots, 0);
   machine_sink_arc_.emplace(machine, to_sink);
+  pending_machines_added_.insert(machine);
   policy_->OnMachineAdded(machine);
 }
 
@@ -78,6 +89,8 @@ void FlowGraphManager::RemoveMachine(MachineId machine) {
   node_to_machine_.erase(node);
   machine_to_node_.erase(it);
   machine_sink_arc_.erase(machine);
+  pending_machines_added_.erase(machine);
+  pending_machines_removed_.insert(machine);
 }
 
 void FlowGraphManager::PurgeArcsTo(NodeId node) {
@@ -108,6 +121,49 @@ void FlowGraphManager::EraseArcsTo(ArcMap* arcs, NodeId dst) {
   }
 }
 
+int64_t FlowGraphManager::RampCost(const UnscheduledRamp& ramp, const TaskDescriptor& task,
+                                   SimTime now) {
+  SimTime wait = task.total_wait;
+  if (task.state == TaskState::kWaiting && now > task.submit_time) {
+    wait += now - task.submit_time;
+  }
+  int64_t buckets =
+      ramp.bucket_width > 0 ? static_cast<int64_t>(wait / ramp.bucket_width) : 0;
+  return ramp.base_cost + ramp.cost_per_bucket * buckets;
+}
+
+void FlowGraphManager::ScheduleRampCrossing(TaskId task_id, TaskInfo* info,
+                                            const TaskDescriptor& task, SimTime now) {
+  // Any previously scheduled crossing is stale from here on.
+  ++info->ramp_gen;
+  if (task.state != TaskState::kWaiting || info->ramp.cost_per_bucket == 0 ||
+      info->ramp.bucket_width == 0) {
+    return;  // frozen wait (running) or flat ramp: the cost never moves
+  }
+  // wait(t) = total_wait + (t - submit_time); the next crossing is the
+  // earliest t > now where floor(wait(t) / bucket) increments.
+  SimTime bucket = info->ramp.bucket_width;
+  SimTime wait_now = task.total_wait + (now > task.submit_time ? now - task.submit_time : 0);
+  SimTime next_wait = (wait_now / bucket + 1) * bucket;
+  SimTime crossing = task.submit_time + (next_wait - task.total_wait);
+  ramp_heap_.push(RampEntry{crossing, task_id, info->ramp_gen});
+}
+
+void FlowGraphManager::AdvanceRamps(SimTime now) {
+  while (!ramp_heap_.empty() && std::get<0>(ramp_heap_.top()) <= now) {
+    const RampEntry top = ramp_heap_.top();
+    ramp_heap_.pop();
+    TaskId task_id = std::get<1>(top);
+    auto it = task_info_.find(task_id);
+    if (it == task_info_.end() || it->second.ramp_gen != std::get<2>(top)) {
+      continue;  // task removed or re-registered since this entry was pushed
+    }
+    const TaskDescriptor& task = cluster_->task(task_id);
+    network_.SetArcCost(it->second.unscheduled_arc, RampCost(it->second.ramp, task, now));
+    ScheduleRampCrossing(task_id, &it->second, task, now);
+  }
+}
+
 void FlowGraphManager::AddTask(TaskId task_id, SimTime now) {
   CHECK(task_info_.count(task_id) == 0);
   const TaskDescriptor& task = cluster_->task(task_id);
@@ -119,18 +175,27 @@ void FlowGraphManager::AddTask(TaskId task_id, SimTime now) {
   if (job.unscheduled_node == kInvalidNodeId) {
     job.unscheduled_node = network_.AddNode(0, NodeKind::kUnscheduled);
     job.to_sink = network_.AddArc(job.unscheduled_node, sink_, 0, 0);
+    node_to_job_.emplace(job.unscheduled_node, task.job);
   }
   job.live_tasks += 1;
   network_.SetArcCapacity(job.to_sink, job.live_tasks);
+  info.ramp = policy_->UnscheduledCostRamp(task);
   info.unscheduled_arc =
-      network_.AddArc(info.node, job.unscheduled_node, 1, policy_->UnscheduledCost(task, now));
-  task_info_.emplace(task_id, std::move(info));
+      network_.AddArc(info.node, job.unscheduled_node, 1, RampCost(info.ramp, task, now));
+  auto [it, inserted] = task_info_.emplace(task_id, std::move(info));
+  CHECK(inserted);
+  ScheduleRampCrossing(task_id, &it->second, task, now);
   network_.SetNodeSupply(sink_, network_.Supply(sink_) - 1);
+  pending_tasks_submitted_.insert(task_id);
+  policy_->OnTaskAdded(task);
 }
 
 void FlowGraphManager::RemoveTask(TaskId task_id) {
   auto it = task_info_.find(task_id);
   CHECK(it != task_info_.end());
+  // The descriptor is still valid here; policies settle per-class
+  // bookkeeping (e.g. request-aggregator refcounts) in the hook.
+  policy_->OnTaskRemoved(cluster_->task(task_id));
   NodeId node = it->second.node;
   if (options_.task_removal_drain) {
     DrainTaskFlow(node);
@@ -144,11 +209,14 @@ void FlowGraphManager::RemoveTask(TaskId task_id) {
   JobInfo& job = job_info_[job_id];
   job.live_tasks -= 1;
   if (job.live_tasks == 0) {
+    node_to_job_.erase(job.unscheduled_node);
     network_.RemoveNode(job.unscheduled_node);
     job_info_.erase(job_id);
   } else {
     network_.SetArcCapacity(job.to_sink, job.live_tasks);
   }
+  pending_tasks_submitted_.erase(task_id);
+  pending_tasks_removed_.insert(task_id);
 }
 
 void FlowGraphManager::DrainTaskFlow(NodeId task_node) {
@@ -202,6 +270,38 @@ void FlowGraphManager::DiffArcs(NodeId src, const std::vector<ArcSpec>& desired,
   *current = std::move(updated);
 }
 
+void FlowGraphManager::DiffArcsTo(NodeId src, NodeId dst, const std::vector<ArcSpec>& desired,
+                                  ArcMap* current) {
+  // Extract the (dst, *) slice; arcs towards other destinations are not
+  // touched — this is what makes machine-granular aggregator updates cheap.
+  ArcMap slice;
+  auto it = current->lower_bound(ArcKey{dst, std::numeric_limits<int32_t>::min()});
+  while (it != current->end() && it->first.first == dst) {
+    slice.insert(*it);
+    it = current->erase(it);
+  }
+  for (const ArcSpec& spec : desired) {
+    DCHECK_EQ(spec.dst, dst);
+    ArcKey key{spec.dst, spec.rank};
+    if (current->count(key) != 0) {
+      continue;  // duplicate (destination, rank) within `desired`: first wins
+    }
+    auto slice_it = slice.find(key);
+    if (slice_it != slice.end()) {
+      ArcId arc = slice_it->second;
+      network_.SetArcCost(arc, spec.cost);
+      network_.SetArcCapacity(arc, spec.capacity);
+      current->emplace(key, arc);
+      slice.erase(slice_it);
+    } else {
+      current->emplace(key, network_.AddArc(src, spec.dst, spec.capacity, spec.cost));
+    }
+  }
+  for (const auto& [key, arc] : slice) {
+    network_.RemoveArc(arc);
+  }
+}
+
 size_t FlowGraphManager::ValidateIntegrity() const {
   size_t verified = 0;
   CHECK(network_.IsValidNode(sink_));
@@ -246,6 +346,7 @@ size_t FlowGraphManager::ValidateIntegrity() const {
   for (const auto& [job, info] : job_info_) {
     CHECK(network_.IsValidNode(info.unscheduled_node));
     CHECK(network_.Kind(info.unscheduled_node) == NodeKind::kUnscheduled);
+    CHECK(node_to_job_.at(info.unscheduled_node) == job);
     CHECK(network_.IsValidArc(info.to_sink));
     CHECK_EQ(network_.Capacity(info.to_sink), info.live_tasks);
     ++verified;
@@ -253,49 +354,165 @@ size_t FlowGraphManager::ValidateIntegrity() const {
   return verified;
 }
 
-void FlowGraphManager::UpdateRound(SimTime now) {
-  // Pass 1 (§6.3): refresh the statistics policies read (machine load,
-  // bandwidth reservations).
-  cluster_->RefreshStatistics();
+void FlowGraphManager::RefreshTask(TaskId task_id, SimTime now) {
+  auto it = task_info_.find(task_id);
+  if (it == task_info_.end()) {
+    return;  // removed after being marked dirty
+  }
+  TaskInfo& info = it->second;
+  const TaskDescriptor& task = cluster_->task(task_id);
+  // Task-specific arcs first: on a (dst, rank) collision the specific arc
+  // (e.g. a running task's continuation arc to a machine that is also a
+  // preference destination) must win over the shared class arc.
+  scratch_specs_.clear();
+  policy_->TaskSpecificArcs(task, now, &scratch_specs_);
+  EquivClass ec = policy_->TaskEquivClass(task);
+  auto [cache_it, inserted] = ec_cache_.try_emplace(ec);
+  if (inserted) {
+    // First member of the class this round: compute the shared arcs once.
+    policy_->EquivClassArcs(task, now, &cache_it->second);
+  }
+  scratch_specs_.insert(scratch_specs_.end(), cache_it->second.begin(), cache_it->second.end());
+  DiffArcs(info.node, scratch_specs_, &info.arcs);
+
+  info.ramp = policy_->UnscheduledCostRamp(task);
+  network_.SetArcCost(info.unscheduled_arc, RampCost(info.ramp, task, now));
+  ScheduleRampCrossing(task_id, &info, task, now);
+}
+
+void FlowGraphManager::RefreshAggregator(AggregatorInfo* info) {
+  scratch_specs_.clear();
+  policy_->AggregatorArcs(info->node, &scratch_specs_);
+  DiffArcs(info->node, scratch_specs_, &info->arcs);
+}
+
+void FlowGraphManager::UpdateRound(SimTime now, RefreshMode mode) {
+  const bool full = mode == RefreshMode::kFull;
   policy_->BeginRound(now);
 
-  // Pass 2: let the policy rewrite the graph. The mutations recorded here
-  // are the last writes before the solver snapshots the network into its
-  // CSR FlowNetworkView, so this loop is the producer side of the
-  // solve-time contract: arc ids handed to DiffArcs stay stable, and the
-  // view's writeback targets them by id.
-  for (auto& [machine, arc] : machine_sink_arc_) {
-    network_.SetArcCapacity(arc, cluster_->machine(machine).spec.slots);
+  // Assemble the round's typed dirty sets from the event buffers and the
+  // cluster's dirty marks. kFull leaves the cluster's marks in place (a
+  // reference manager sharing the cluster must not steal the primary's
+  // change signals) and instead redoes the legacy first pass (§6.3).
+  update_.now = now;
+  update_.full = full;
+  update_.tasks_submitted.assign(pending_tasks_submitted_.begin(), pending_tasks_submitted_.end());
+  update_.tasks_removed.assign(pending_tasks_removed_.begin(), pending_tasks_removed_.end());
+  update_.machines_added.assign(pending_machines_added_.begin(), pending_machines_added_.end());
+  update_.machines_removed.assign(pending_machines_removed_.begin(),
+                                  pending_machines_removed_.end());
+  update_.tasks_state_changed.clear();
+  update_.machines_stats_changed.clear();
+  if (full) {
+    cluster_->RefreshStatistics();
+  } else {
+    for (TaskId task : cluster_->dirty_tasks()) {
+      if (task_info_.count(task) != 0 && pending_tasks_submitted_.count(task) == 0) {
+        update_.tasks_state_changed.push_back(task);
+      }
+    }
+    for (MachineId machine : cluster_->dirty_machines()) {
+      if (machine_to_node_.count(machine) != 0 &&
+          pending_machines_added_.count(machine) == 0) {
+        update_.machines_stats_changed.push_back(machine);
+      }
+    }
+    cluster_->ClearDirty();
   }
-  // Deterministic iteration order keeps solver behaviour reproducible.
-  std::vector<TaskId>& tasks = scratch_tasks_;
-  tasks.clear();
-  tasks.reserve(task_info_.size());
-  for (const auto& [task_id, info] : task_info_) {
-    tasks.push_back(task_id);
+
+  marks_.Clear();
+  policy_->CollectDirty(update_, &marks_);
+
+  // Machine -> sink capacities: spec changes arrive as stats-dirty marks
+  // (mutable_machine), so only touched machines are visited.
+  if (full) {
+    for (auto& [machine, arc] : machine_sink_arc_) {
+      network_.SetArcCapacity(arc, cluster_->machine(machine).spec.slots);
+    }
+  } else {
+    for (MachineId machine : update_.machines_added) {
+      network_.SetArcCapacity(machine_sink_arc_.at(machine),
+                              cluster_->machine(machine).spec.slots);
+    }
+    for (MachineId machine : update_.machines_stats_changed) {
+      network_.SetArcCapacity(machine_sink_arc_.at(machine),
+                              cluster_->machine(machine).spec.slots);
+    }
   }
-  std::sort(tasks.begin(), tasks.end());
-  for (TaskId task_id : tasks) {
-    TaskInfo& info = task_info_[task_id];
-    const TaskDescriptor& task = cluster_->task(task_id);
-    network_.SetArcCost(info.unscheduled_arc, policy_->UnscheduledCost(task, now));
-    scratch_specs_.clear();
-    policy_->TaskArcs(task, now, &scratch_specs_);
-    DiffArcs(info.node, scratch_specs_, &info.arcs);
+
+  // Task arcs for the round's dirty tasks, shared per equivalence class.
+  ec_cache_.clear();
+  std::set<TaskId> dirty_tasks;
+  if (full || marks_.all_tasks) {
+    // Rare wide invalidation (first round, forced refresh, machine removal):
+    // one ordered pass over everything.
+    std::vector<TaskId> all_tasks;
+    all_tasks.reserve(task_info_.size());
+    for (const auto& [task_id, info] : task_info_) {
+      all_tasks.push_back(task_id);
+    }
+    std::sort(all_tasks.begin(), all_tasks.end());
+    for (TaskId task_id : all_tasks) {
+      RefreshTask(task_id, now);
+    }
+  } else {
+    // Ordered dirty sets keep iteration deterministic without the legacy
+    // O(n log n) full task-id re-sort.
+    dirty_tasks.insert(update_.tasks_submitted.begin(), update_.tasks_submitted.end());
+    dirty_tasks.insert(update_.tasks_state_changed.begin(), update_.tasks_state_changed.end());
+    for (TaskId task_id : marks_.tasks) {
+      if (task_info_.count(task_id) != 0) {
+        dirty_tasks.insert(task_id);
+      }
+    }
+    for (TaskId task_id : dirty_tasks) {
+      RefreshTask(task_id, now);
+    }
   }
-  std::vector<std::string>& agg_keys = scratch_agg_keys_;
-  agg_keys.clear();
-  agg_keys.reserve(aggregators_.size());
-  for (const auto& [key, info] : aggregators_) {
-    agg_keys.push_back(key);
+
+  // Advance the unscheduled-cost ramps: only tasks whose wait crossed a
+  // bucket boundary since the last round get their arc cost poked.
+  AdvanceRamps(now);
+
+  // Aggregator arcs: full recomputes for marked aggregators, per-machine
+  // slices for marked (aggregator, machine) pairs.
+  if (full || marks_.all_aggregators) {
+    std::vector<std::string> keys;
+    keys.reserve(aggregators_.size());
+    for (const auto& [key, info] : aggregators_) {
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const std::string& key : keys) {
+      RefreshAggregator(&aggregators_[key]);
+    }
+  } else {
+    for (NodeId agg : marks_.aggregators) {
+      auto it = node_to_aggregator_.find(agg);
+      if (it == node_to_aggregator_.end()) {
+        continue;  // removed (drained) since it was marked
+      }
+      RefreshAggregator(&aggregators_[it->second]);
+    }
+    for (const auto& [agg, machine] : marks_.aggregator_machines) {
+      if (marks_.aggregators.count(agg) != 0) {
+        continue;  // the full recompute above already covered this slice
+      }
+      auto agg_it = node_to_aggregator_.find(agg);
+      auto machine_it = machine_to_node_.find(machine);
+      if (agg_it == node_to_aggregator_.end() || machine_it == machine_to_node_.end()) {
+        continue;  // aggregator drained or machine removed since marking
+      }
+      scratch_specs_.clear();
+      policy_->AggregatorMachineArcs(agg, machine, &scratch_specs_);
+      DiffArcsTo(agg, machine_it->second, scratch_specs_, &aggregators_[agg_it->second].arcs);
+    }
   }
-  std::sort(agg_keys.begin(), agg_keys.end());
-  for (const std::string& key : agg_keys) {
-    AggregatorInfo& info = aggregators_[key];
-    scratch_specs_.clear();
-    policy_->AggregatorArcs(info.node, &scratch_specs_);
-    DiffArcs(info.node, scratch_specs_, &info.arcs);
-  }
+
+  pending_tasks_submitted_.clear();
+  pending_tasks_removed_.clear();
+  pending_machines_added_.clear();
+  pending_machines_removed_.clear();
 }
 
 }  // namespace firmament

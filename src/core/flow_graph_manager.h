@@ -7,17 +7,26 @@
 // performs minimal diffs so the change log stays small and incremental
 // solvers can warm-start.
 //
-// The per-round update follows §6.3: statistics are refreshed first
-// (ClusterState::RefreshStatistics — the pass that propagates machine load
-// and bandwidth), then a second pass lets the policy rewrite task and
-// aggregator arcs from those statistics.
+// The per-round update is change-driven (policy API v2): cluster events are
+// buffered into typed dirty sets, the policy translates them into dirty
+// tasks and dirty aggregator arc slices (SchedulingPolicy::CollectDirty),
+// and only those entities have their arcs recomputed — tasks through a
+// per-equivalence-class arc cache so identical tasks cost one policy call
+// per class per round. Time-varying unscheduled costs advance through the
+// policies' declarative ramps: a bucket-ordered heap pokes only the arcs of
+// tasks that crossed a bucket boundary. Everything else keeps last round's
+// arcs verbatim, making the graph-update pass O(|changed|) instead of
+// O(cluster).
 
 #ifndef SRC_CORE_FLOW_GRAPH_MANAGER_H_
 #define SRC_CORE_FLOW_GRAPH_MANAGER_H_
 
 #include <limits>
 #include <map>
+#include <queue>
+#include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -36,6 +45,13 @@ struct FlowGraphManagerOptions {
   bool task_removal_drain = true;
 };
 
+// How UpdateRound refreshes the graph. kDelta (the default) consumes the
+// dirty sets and touches only changed entities; kFull recomputes every
+// task's and aggregator's arcs from current state — the legacy O(cluster)
+// path, kept for equivalence tests and as the bench reference the delta
+// path is gated against.
+enum class RefreshMode : uint8_t { kDelta, kFull };
+
 class FlowGraphManager {
  public:
   FlowGraphManager(ClusterState* cluster, SchedulingPolicy* policy,
@@ -51,9 +67,13 @@ class FlowGraphManager {
   void RemoveTask(TaskId task);
 
   // --- Per-round update (§6.3) ----------------------------------------------
-  // Refreshes statistics, unscheduled costs, task arcs, aggregator arcs, and
-  // machine capacities. Must be called before every solver run.
-  void UpdateRound(SimTime now);
+  // Refreshes statistics-dependent arcs, unscheduled costs, and machine
+  // capacities for the round's dirty entities (kDelta) or for everything
+  // (kFull). Must be called before every solver run. kDelta drains and
+  // clears the ClusterState dirty sets; kFull leaves them untouched so a
+  // reference manager sharing the cluster never steals the primary's
+  // change signals.
+  void UpdateRound(SimTime now, RefreshMode mode = RefreshMode::kDelta);
 
   // --- Accessors -------------------------------------------------------------
   FlowNetwork* network() { return &network_; }
@@ -65,6 +85,11 @@ class FlowGraphManager {
   TaskId TaskForNode(NodeId node) const;
   bool HasTask(TaskId task) const { return task_info_.count(task) != 0; }
   size_t num_task_nodes() const { return task_info_.size(); }
+  // Aggregator key for a node ("" if the node is no aggregator) and the
+  // unscheduled aggregator's job (kInvalidJobId otherwise); used by tests
+  // to compare graphs structurally across managers.
+  std::string AggregatorKeyForNode(NodeId node) const;
+  JobId JobForUnscheduledNode(NodeId node) const;
 
   // --- Services for policies ---------------------------------------------------
   // Verifies internal consistency between the bookkeeping maps and the flow
@@ -90,6 +115,10 @@ class FlowGraphManager {
     NodeId node = kInvalidNodeId;
     ArcId unscheduled_arc = kInvalidArcId;
     ArcMap arcs;
+    // Cached unscheduled-cost ramp (policy API v2) and the heap-entry
+    // generation that invalidates stale crossing events.
+    UnscheduledRamp ramp;
+    uint32_t ramp_gen = 0;
   };
   struct JobInfo {
     NodeId unscheduled_node = kInvalidNodeId;
@@ -102,9 +131,53 @@ class FlowGraphManager {
     ArcMap arcs;
   };
 
+  // The PolicyDirtySink handed to SchedulingPolicy::CollectDirty; collects
+  // ordered dirty marks for one round.
+  struct DirtyMarks : public PolicyDirtySink {
+    void MarkTask(TaskId task) override { tasks.insert(task); }
+    void MarkAllTasks() override { all_tasks = true; }
+    void MarkAggregator(NodeId aggregator) override { aggregators.insert(aggregator); }
+    void MarkAggregatorMachine(NodeId aggregator, MachineId machine) override {
+      aggregator_machines.insert({aggregator, machine});
+    }
+    void MarkAllAggregators() override { all_aggregators = true; }
+    void Clear() {
+      tasks.clear();
+      aggregators.clear();
+      aggregator_machines.clear();
+      all_tasks = false;
+      all_aggregators = false;
+    }
+
+    std::set<TaskId> tasks;
+    std::set<NodeId> aggregators;
+    std::set<std::pair<NodeId, MachineId>> aggregator_machines;
+    bool all_tasks = false;
+    bool all_aggregators = false;
+  };
+
   // Replaces `current` arcs from `src` with `desired`, reusing arcs whose
   // destination is unchanged (cost/capacity updates instead of re-adds).
   void DiffArcs(NodeId src, const std::vector<ArcSpec>& desired, ArcMap* current);
+  // Like DiffArcs but restricted to arcs towards `dst`: desired entries must
+  // all target `dst`, and `current` entries towards other destinations are
+  // left untouched (machine-granular aggregator updates).
+  void DiffArcsTo(NodeId src, NodeId dst, const std::vector<ArcSpec>& desired, ArcMap* current);
+  // Recomputes one task's arcs (class cache + task-specific) and its
+  // unscheduled-cost ramp at `now`.
+  void RefreshTask(TaskId task_id, SimTime now);
+  // Recomputes one aggregator's full arc set.
+  void RefreshAggregator(AggregatorInfo* info);
+  // Unscheduled cost of `task` under `info`'s ramp at `now`.
+  static int64_t RampCost(const UnscheduledRamp& ramp, const TaskDescriptor& task, SimTime now);
+  // (Re-)registers the task's next bucket-crossing event; bumps ramp_gen so
+  // stale heap entries are dropped on pop.
+  void ScheduleRampCrossing(TaskId task_id, TaskInfo* info, const TaskDescriptor& task,
+                            SimTime now);
+  // Pops due crossings and pokes the affected unscheduled arcs; entries
+  // whose generation is stale (task refreshed or removed since the push)
+  // are dropped.
+  void AdvanceRamps(SimTime now);
   // Walks one unit of the task's flow to the sink and drains it (§5.3.2).
   void DrainTaskFlow(NodeId task_node);
   // Purges references to a node that is about to be removed from the maps
@@ -124,13 +197,30 @@ class FlowGraphManager {
   std::unordered_map<TaskId, TaskInfo> task_info_;
   std::unordered_map<NodeId, TaskId> node_to_task_;
   std::unordered_map<JobId, JobInfo> job_info_;
+  std::unordered_map<NodeId, JobId> node_to_job_;
   std::unordered_map<MachineId, ArcId> machine_sink_arc_;
   std::unordered_map<std::string, AggregatorInfo> aggregators_;
   std::unordered_map<NodeId, std::string> node_to_aggregator_;
 
+  // --- Dirty-set plumbing (policy API v2) ----------------------------------
+  // Ordered event buffers accumulated between rounds; UpdateRound converts
+  // them into the PolicyUpdate's typed dirty sets.
+  std::set<TaskId> pending_tasks_submitted_;
+  std::set<TaskId> pending_tasks_removed_;
+  std::set<MachineId> pending_machines_added_;
+  std::set<MachineId> pending_machines_removed_;
+  DirtyMarks marks_;
+  PolicyUpdate update_;  // reused across rounds
+
+  // Per-round equivalence-class arc cache: class key -> shared arc specs.
+  std::unordered_map<EquivClass, std::vector<ArcSpec>> ec_cache_;
+
+  // Min-heap of (crossing time, task, ramp generation): the next moment each
+  // waiting task's unscheduled cost steps to the next bucket.
+  using RampEntry = std::tuple<SimTime, TaskId, uint32_t>;
+  std::priority_queue<RampEntry, std::vector<RampEntry>, std::greater<RampEntry>> ramp_heap_;
+
   std::vector<ArcSpec> scratch_specs_;
-  std::vector<TaskId> scratch_tasks_;
-  std::vector<std::string> scratch_agg_keys_;
 };
 
 }  // namespace firmament

@@ -1,7 +1,5 @@
 #include "src/core/load_spreading_policy.h"
 
-#include "src/core/policy_util.h"
-
 namespace firmament {
 
 void LoadSpreadingPolicy::Initialize(FlowGraphManager* manager) {
@@ -9,14 +7,46 @@ void LoadSpreadingPolicy::Initialize(FlowGraphManager* manager) {
   cluster_agg_ = manager_->GetOrCreateAggregator("cluster");
 }
 
-int64_t LoadSpreadingPolicy::UnscheduledCost(const TaskDescriptor& task, SimTime now) {
-  return params_.base_unscheduled_cost + params_.wait_cost_per_second * WaitSeconds(task, now);
+void LoadSpreadingPolicy::CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) {
+  if (update.full) {
+    return;  // the manager refreshes everything anyway
+  }
+  // X's arcs to a machine depend only on that machine's load: a stats
+  // change (place/evict/complete) or arrival dirties just that slice.
+  // Removed machines need nothing — their arcs vanished with the node, and
+  // no other machine's costs reference them.
+  for (MachineId machine : update.machines_added) {
+    sink->MarkAggregatorMachine(cluster_agg_, machine);
+  }
+  for (MachineId machine : update.machines_stats_changed) {
+    sink->MarkAggregatorMachine(cluster_agg_, machine);
+  }
 }
 
-void LoadSpreadingPolicy::TaskArcs(const TaskDescriptor& task, SimTime now,
-                                   std::vector<ArcSpec>* out) {
+UnscheduledRamp LoadSpreadingPolicy::UnscheduledCostRamp(const TaskDescriptor& task) {
+  (void)task;
+  UnscheduledRamp ramp;
+  ramp.base_cost = params_.base_unscheduled_cost;
+  ramp.cost_per_bucket = params_.wait_cost_per_second;  // omega per second waited
+  ramp.bucket_width = kMicrosPerSecond;
+  return ramp;
+}
+
+EquivClass LoadSpreadingPolicy::TaskEquivClass(const TaskDescriptor& task) {
+  (void)task;
+  return 0;  // every task wants the same single arc to X
+}
+
+void LoadSpreadingPolicy::EquivClassArcs(const TaskDescriptor& representative, SimTime now,
+                                         std::vector<ArcSpec>* out) {
+  (void)representative;
   (void)now;
   out->push_back({cluster_agg_, 1, 0, 0});
+}
+
+void LoadSpreadingPolicy::TaskSpecificArcs(const TaskDescriptor& task, SimTime now,
+                                           std::vector<ArcSpec>* out) {
+  (void)now;
   if (task.state == TaskState::kRunning) {
     // Continuation on the current machine costs -1: strictly preferred over
     // any equal-cost alternative, so ties never cause gratuitous migrations.
@@ -27,24 +57,35 @@ void LoadSpreadingPolicy::TaskArcs(const TaskDescriptor& task, SimTime now,
   }
 }
 
+void LoadSpreadingPolicy::AggregatorMachineArcs(NodeId aggregator, MachineId machine,
+                                                std::vector<ArcSpec>* out) {
+  if (aggregator != cluster_agg_) {
+    return;
+  }
+  const MachineDescriptor& descriptor = cluster_->machine(machine);
+  if (!descriptor.alive) {
+    return;
+  }
+  NodeId node = manager_->NodeForMachine(machine);
+  if (node == kInvalidNodeId) {
+    return;
+  }
+  // Unit-capacity parallel arcs with increasing cost: the i-th free slot
+  // costs as much as hosting (running + i) tasks, so flow fills the least
+  // loaded machines first.
+  for (int32_t i = 0; i < descriptor.FreeSlots(); ++i) {
+    out->push_back(
+        {node, 1, params_.cost_per_running_task * (descriptor.running_tasks + i), i});
+  }
+}
+
 void LoadSpreadingPolicy::AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) {
   if (aggregator != cluster_agg_) {
     return;
   }
   for (const MachineDescriptor& machine : cluster_->machines()) {
-    if (!machine.alive) {
-      continue;
-    }
-    NodeId node = manager_->NodeForMachine(machine.id);
-    if (node == kInvalidNodeId) {
-      continue;
-    }
-    // Unit-capacity parallel arcs with increasing cost: the i-th free slot
-    // costs as much as hosting (running + i) tasks, so flow fills the least
-    // loaded machines first.
-    for (int32_t i = 0; i < machine.FreeSlots(); ++i) {
-      out->push_back(
-          {node, 1, params_.cost_per_running_task * (machine.running_tasks + i), i});
+    if (machine.alive) {
+      AggregatorMachineArcs(aggregator, machine.id, out);
     }
   }
 }

@@ -7,6 +7,11 @@
 // of increasing cost (convex cost decomposition). The paper uses this policy
 // to expose relaxation's contention edge case (§4.3, Fig. 9): every
 // under-populated machine is a popular destination.
+//
+// v2 delta contract: every task is in one equivalence class (they all want
+// the same single arc to X), and a machine's load change dirties only the
+// X -> machine arc slice — the cluster-wide fan-out is never recomputed
+// wholesale outside full refreshes.
 
 #ifndef SRC_CORE_LOAD_SPREADING_POLICY_H_
 #define SRC_CORE_LOAD_SPREADING_POLICY_H_
@@ -29,9 +34,16 @@ class LoadSpreadingPolicy : public SchedulingPolicy {
 
   std::string name() const override { return "load_spreading"; }
   void Initialize(FlowGraphManager* manager) override;
-  int64_t UnscheduledCost(const TaskDescriptor& task, SimTime now) override;
-  void TaskArcs(const TaskDescriptor& task, SimTime now, std::vector<ArcSpec>* out) override;
+  void CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) override;
+  UnscheduledRamp UnscheduledCostRamp(const TaskDescriptor& task) override;
+  EquivClass TaskEquivClass(const TaskDescriptor& task) override;
+  void EquivClassArcs(const TaskDescriptor& representative, SimTime now,
+                      std::vector<ArcSpec>* out) override;
+  void TaskSpecificArcs(const TaskDescriptor& task, SimTime now,
+                        std::vector<ArcSpec>* out) override;
   void AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) override;
+  void AggregatorMachineArcs(NodeId aggregator, MachineId machine,
+                             std::vector<ArcSpec>* out) override;
 
  private:
   const ClusterState* cluster_;

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "src/base/check.h"
-#include "src/core/policy_util.h"
 
 namespace firmament {
 
@@ -15,6 +14,11 @@ int64_t CostForBytes(int64_t bytes, int64_t cost_per_gb) {
   // Rounded up so that any remote byte costs at least one unit; keeps small
   // inputs from looking free.
   return (bytes * cost_per_gb + kBytesPerGb - 1) / kBytesPerGb;
+}
+
+inline uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  constexpr uint64_t kFnvPrime = 1099511628211ull;
+  return (hash ^ value) * kFnvPrime;
 }
 
 }  // namespace
@@ -32,13 +36,88 @@ void QuincyPolicy::OnMachineAdded(MachineId machine) {
   // Rack aggregators must exist before the round's arc refresh so both the
   // cluster aggregator and task preference arcs can target them.
   manager_->GetOrCreateAggregator(RackKey(cluster_->RackOf(machine)));
+  slots_seen_[machine] = cluster_->machine(machine).spec.slots;
 }
 
-int64_t QuincyPolicy::UnscheduledCost(const TaskDescriptor& task, SimTime now) {
+void QuincyPolicy::OnMachineRemoved(MachineId machine) {
+  // Drain the rack aggregator with its last machine so no empty-rack node
+  // lingers in the graph. The cluster still lists the machine in its rack
+  // at this point (the manager is notified before the cluster mutation).
+  RackId rack = cluster_->RackOf(machine);
+  const std::vector<MachineId>& in_rack = cluster_->MachinesInRack(rack);
+  bool drained = in_rack.empty() || (in_rack.size() == 1 && in_rack[0] == machine);
+  if (drained && manager_->HasAggregator(RackKey(rack))) {
+    manager_->RemoveAggregator(RackKey(rack));
+  }
+  slots_seen_.erase(machine);
+}
+
+void QuincyPolicy::CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) {
+  if (update.full) {
+    return;
+  }
+  // Machine *load* never feeds Quincy's costs (they are data-transfer
+  // prices), so routine stats churn requires nothing — but a stats-dirty
+  // mark can also carry an out-of-band spec edit (mutable_machine), and
+  // slot counts are exactly what the aggregator capacities are built from.
+  // Compare against the last slots each aggregator saw so only genuine
+  // spec changes pay for a recompute.
+  bool topology_changed = !update.machines_added.empty() || !update.machines_removed.empty();
+  bool slots_changed = false;
+  for (MachineId machine : update.machines_stats_changed) {
+    int32_t slots = cluster_->machine(machine).spec.slots;
+    auto it = slots_seen_.find(machine);
+    if (it != slots_seen_.end() && it->second != slots) {
+      it->second = slots;
+      slots_changed = true;
+      sink->MarkAggregator(manager_->GetOrCreateAggregator(RackKey(cluster_->RackOf(machine))));
+    }
+  }
+  if (!topology_changed && !slots_changed) {
+    return;
+  }
+  // The cluster aggregator's rack capacities and the affected racks'
+  // fan-out change; a removal may additionally shift which machines/racks
+  // clear a task's preference threshold — conservatively recompute all
+  // task arcs then.
+  sink->MarkAggregator(cluster_agg_);
+  for (MachineId machine : update.machines_added) {
+    // Re-snapshot: a spec edit between AddMachine and this round is folded
+    // into the machines_added recompute below.
+    slots_seen_[machine] = cluster_->machine(machine).spec.slots;
+    sink->MarkAggregator(manager_->GetOrCreateAggregator(RackKey(cluster_->RackOf(machine))));
+  }
+  for (MachineId machine : update.machines_removed) {
+    std::string key = RackKey(cluster_->RackOf(machine));
+    if (manager_->HasAggregator(key)) {
+      sink->MarkAggregator(manager_->GetOrCreateAggregator(key));
+    }
+  }
+  if (!update.machines_removed.empty()) {
+    sink->MarkAllTasks();
+  }
+}
+
+UnscheduledRamp QuincyPolicy::UnscheduledCostRamp(const TaskDescriptor& task) {
   int64_t priority_factor = 1 + cluster_->job(task.job).priority;
-  return (params_.base_unscheduled_cost +
-          params_.wait_cost_per_second * WaitSeconds(task, now)) *
-         priority_factor;
+  UnscheduledRamp ramp;
+  ramp.base_cost = params_.base_unscheduled_cost * priority_factor;
+  ramp.cost_per_bucket = params_.wait_cost_per_second * priority_factor;
+  ramp.bucket_width = kMicrosPerSecond;
+  return ramp;
+}
+
+EquivClass QuincyPolicy::TaskEquivClass(const TaskDescriptor& task) {
+  // Hash exactly the inputs EquivClassArcs reads: the input profile. Tasks
+  // reading the same blocks (or no input at all) share one class.
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  hash = FnvMix(hash, static_cast<uint64_t>(task.input_size_bytes));
+  if (locality_ != nullptr) {
+    for (uint64_t block : task.input_blocks) {
+      hash = FnvMix(hash, block);
+    }
+  }
+  return hash;
 }
 
 int64_t QuincyPolicy::MachineTransferCost(const TaskDescriptor& task, MachineId machine) const {
@@ -71,11 +150,9 @@ int64_t QuincyPolicy::ClusterTransferCost(const TaskDescriptor& task) const {
   return CostForBytes(task.input_size_bytes, params_.cost_per_gb_cross_rack);
 }
 
-void QuincyPolicy::TaskArcs(const TaskDescriptor& task, SimTime now, std::vector<ArcSpec>* out) {
+void QuincyPolicy::TaskSpecificArcs(const TaskDescriptor& task, SimTime now,
+                                    std::vector<ArcSpec>* out) {
   (void)now;
-  // Fallback via the cluster aggregator at worst-case cost.
-  out->push_back({cluster_agg_, 1, ClusterTransferCost(task), 0});
-
   if (task.state == TaskState::kRunning) {
     // Continuation arc: input already fetched, so running on is free — and
     // strictly preferred (-1) over equally-priced alternatives so that ties
@@ -86,6 +163,14 @@ void QuincyPolicy::TaskArcs(const TaskDescriptor& task, SimTime now, std::vector
       out->push_back({machine_node, 1, -1, 0});
     }
   }
+}
+
+void QuincyPolicy::EquivClassArcs(const TaskDescriptor& representative, SimTime now,
+                                  std::vector<ArcSpec>* out) {
+  (void)now;
+  const TaskDescriptor& task = representative;
+  // Fallback via the cluster aggregator at worst-case cost.
+  out->push_back({cluster_agg_, 1, ClusterTransferCost(task), 0});
 
   if (locality_ == nullptr || task.input_size_bytes == 0) {
     return;

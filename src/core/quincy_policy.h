@@ -12,6 +12,14 @@
 // The preference threshold (fraction of input data that must be local to
 // earn an arc) is the Fig. 15 knob: a lower threshold adds arcs, improves
 // achievable locality, and stresses the solver.
+//
+// v2 delta contract: preference and fallback arcs depend only on the task's
+// input profile (size + block placement) and cluster topology, so the
+// equivalence class hashes the input profile — tasks reading the same
+// blocks share one arc computation per round. Machine statistics never
+// dirty anything here (costs are data-transfer prices, not load); only
+// topology changes fan out, and a machine removal conservatively dirties
+// all tasks because preference candidates may have changed.
 
 #ifndef SRC_CORE_QUINCY_POLICY_H_
 #define SRC_CORE_QUINCY_POLICY_H_
@@ -53,8 +61,14 @@ class QuincyPolicy : public SchedulingPolicy {
   std::string name() const override { return "quincy"; }
   void Initialize(FlowGraphManager* manager) override;
   void OnMachineAdded(MachineId machine) override;
-  int64_t UnscheduledCost(const TaskDescriptor& task, SimTime now) override;
-  void TaskArcs(const TaskDescriptor& task, SimTime now, std::vector<ArcSpec>* out) override;
+  void OnMachineRemoved(MachineId machine) override;
+  void CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) override;
+  UnscheduledRamp UnscheduledCostRamp(const TaskDescriptor& task) override;
+  EquivClass TaskEquivClass(const TaskDescriptor& task) override;
+  void EquivClassArcs(const TaskDescriptor& representative, SimTime now,
+                      std::vector<ArcSpec>* out) override;
+  void TaskSpecificArcs(const TaskDescriptor& task, SimTime now,
+                        std::vector<ArcSpec>* out) override;
   void AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) override;
 
   // Transfer cost of running `task` on `machine` given current locality
@@ -73,6 +87,9 @@ class QuincyPolicy : public SchedulingPolicy {
   QuincyPolicyParams params_;
   FlowGraphManager* manager_ = nullptr;
   NodeId cluster_agg_ = kInvalidNodeId;
+  // Slot count each machine's aggregator arcs were last built from;
+  // detects out-of-band spec edits arriving as stats-dirty marks.
+  std::unordered_map<MachineId, int32_t> slots_seen_;
 };
 
 }  // namespace firmament

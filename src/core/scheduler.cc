@@ -53,7 +53,9 @@ SolveStats FirmamentScheduler::StartRound(SimTime now) {
   // Fig. 2b: update the graph, then run the solver. A non-optimal outcome
   // (infeasible cluster, budget-truncated approximate solve) is propagated
   // through the round result instead of aborting the scheduler.
+  WallTimer update_timer;
   graph_manager_.UpdateRound(now);
+  pending_graph_update_us_ = update_timer.ElapsedMicros();
   pending_solve_ = solver_.Solve(graph_manager_.network());
   algorithm_runtime_.Add(static_cast<double>(pending_solve_.runtime_us) / 1e6);
   round_in_flight_ = true;
@@ -68,6 +70,7 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
   result.solver_stats = pending_solve_;
   result.outcome = pending_solve_.outcome;
   result.algorithm_runtime_us = pending_solve_.runtime_us;
+  result.graph_update_us = pending_graph_update_us_;
 
   const bool have_placements = pending_solve_.outcome == SolveOutcome::kOptimal ||
                                pending_solve_.outcome == SolveOutcome::kApproximate;

@@ -42,6 +42,10 @@ struct SchedulerRoundResult {
   // it does NOT abort the scheduler, which retries next round.
   SolveOutcome outcome = SolveOutcome::kOptimal;
   uint64_t algorithm_runtime_us = 0;  // solver wall time (Fig. 2b)
+  // Wall time of the round's graph-update pass (stats drain + policy arc
+  // deltas, §6.3) — the "total minus algorithm" slice of Fig. 2b that the
+  // delta-driven policy API keeps O(|changed|).
+  uint64_t graph_update_us = 0;
   uint64_t total_runtime_us = 0;      // incl. graph update + extraction
   size_t tasks_placed = 0;
   size_t tasks_preempted = 0;
@@ -99,6 +103,7 @@ class FirmamentScheduler {
   Distribution placement_latency_;
   Distribution algorithm_runtime_;
   SolveStats pending_solve_;
+  uint64_t pending_graph_update_us_ = 0;
   bool round_in_flight_ = false;
 };
 

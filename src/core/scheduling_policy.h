@@ -1,10 +1,34 @@
-// Scheduling policy (cost model) API (§3.3).
+// Scheduling policy (cost model) API v2 (§3.3, §6.3).
 //
 // A policy shapes the flow network: which aggregator nodes exist, which arcs
 // tasks and aggregators get, and what the costs/capacities are. Firmament
 // generalizes Quincy's single policy to arbitrary aggregator structures; the
 // three policies used in the paper (load-spreading, Quincy, network-aware)
 // are implemented against this interface.
+//
+// v2 is change-driven: instead of the manager pulling every task's and
+// aggregator's arcs every round (O(cluster) per round — the continuous-
+// rescan cost §6.3 warns about), the manager hands the policy a PolicyUpdate
+// carrying typed dirty sets once per round, and the policy translates them
+// into the entities whose arcs actually need recomputation. Three
+// ingredients keep the per-round graph update O(|changed|):
+//
+//  * Dirty sets. The manager and cluster state track which tasks were
+//    submitted / changed state / were removed and which machines were
+//    added / removed / had statistics move since the last round. The policy
+//    maps those onto dirty tasks and dirty (aggregator, machine) arc slices
+//    via CollectDirty; everything unmarked keeps last round's arcs verbatim.
+//
+//  * Declarative unscheduled-cost ramps. Wait-time-driven unscheduled costs
+//    grow on a fixed schedule (slope per bucket of waiting). The policy
+//    declares the ramp once per task; the manager advances costs itself and
+//    touches only tasks that cross a bucket boundary — no virtual call per
+//    task per round.
+//
+//  * Task equivalence classes (à la Firmament's cost-model API). Tasks with
+//    identical policy inputs share a class whose arcs are computed once per
+//    class per round; per-task extras (e.g. the running task's continuation
+//    arc) stay separate in TaskSpecificArcs.
 
 #ifndef SRC_CORE_SCHEDULING_POLICY_H_
 #define SRC_CORE_SCHEDULING_POLICY_H_
@@ -32,6 +56,54 @@ struct ArcSpec {
   int32_t rank = 0;
 };
 
+// The round's typed dirty sets (all vectors sorted ascending, deduplicated).
+// `full` marks a forced full refresh: every task and aggregator is treated
+// as dirty regardless of the sets below.
+struct PolicyUpdate {
+  SimTime now = 0;
+  bool full = false;
+  std::vector<TaskId> tasks_submitted;      // task nodes added since last round
+  std::vector<TaskId> tasks_state_changed;  // placed / evicted / migrated
+  std::vector<TaskId> tasks_removed;        // completed; nodes already gone
+  std::vector<MachineId> machines_added;
+  std::vector<MachineId> machines_removed;        // descriptors remain, alive=false
+  std::vector<MachineId> machines_stats_changed;  // load / bandwidth moved
+};
+
+// Collector the manager passes to CollectDirty: the policy marks the
+// entities whose arcs must be recomputed this round. Unmarked entities keep
+// their arcs untouched, which is what makes the round O(|changed|).
+class PolicyDirtySink {
+ public:
+  virtual ~PolicyDirtySink() = default;
+  // Recompute the task's arcs (class + task-specific + unscheduled cost).
+  virtual void MarkTask(TaskId task) = 0;
+  virtual void MarkAllTasks() = 0;
+  // Recompute every outgoing arc of the aggregator (AggregatorArcs).
+  virtual void MarkAggregator(NodeId aggregator) = 0;
+  // Recompute only the aggregator's arcs towards `machine`
+  // (AggregatorMachineArcs); other destinations keep their arcs.
+  virtual void MarkAggregatorMachine(NodeId aggregator, MachineId machine) = 0;
+  virtual void MarkAllAggregators() = 0;
+};
+
+// Declarative unscheduled-cost schedule: a task waiting W microseconds pays
+//   cost(W) = base_cost + cost_per_bucket * floor(W / bucket_width).
+// W accumulates total_wait plus the current waiting stretch; running tasks'
+// wait is frozen, so their unscheduled cost is constant between state
+// changes. The manager advances the cost when a task crosses a bucket
+// boundary — the policy is never called per task per round for this.
+struct UnscheduledRamp {
+  int64_t base_cost = 0;
+  int64_t cost_per_bucket = 0;
+  SimTime bucket_width = kMicrosPerSecond;
+};
+
+// Opaque equivalence-class key: tasks mapping to the same key must want
+// identical EquivClassArcs (policies hash exactly the inputs those arcs
+// depend on). The manager computes class arcs once per class per round.
+using EquivClass = uint64_t;
+
 class SchedulingPolicy {
  public:
   virtual ~SchedulingPolicy() = default;
@@ -45,29 +117,75 @@ class SchedulingPolicy {
   // static aggregator nodes here (e.g. the cluster aggregator X).
   virtual void Initialize(FlowGraphManager* manager) = 0;
 
-  // Topology hooks; policies maintain rack/request aggregators here.
+  // --- Lifecycle hooks ------------------------------------------------------
+  // Topology hooks; policies maintain rack/request aggregators here. A
+  // policy whose aggregators drain (rack emptied, request class emptied)
+  // removes them here or in OnTaskRemoved via the manager services.
   virtual void OnMachineAdded(MachineId machine) { (void)machine; }
   virtual void OnMachineRemoved(MachineId machine) { (void)machine; }
+  // Task lifecycle; called while the descriptor is still valid. Policies
+  // keep per-class bookkeeping (e.g. live tasks per request aggregator)
+  // here instead of recounting every round.
+  virtual void OnTaskAdded(const TaskDescriptor& task) { (void)task; }
+  virtual void OnTaskRemoved(const TaskDescriptor& task) { (void)task; }
 
-  // Called at the start of every scheduling round, before task and
-  // aggregator arcs are refreshed; policies snapshot round-level statistics
-  // here (§6.3 first traversal).
+  // --- Per-round protocol (§6.3, change-driven) -----------------------------
+  // Called at the start of every round before any arc queries; policies
+  // snapshot round-level statistics here.
   virtual void BeginRound(SimTime now) { (void)now; }
 
-  // Cost of leaving `task` unscheduled (or preempting it) this round: the
-  // cost on its arc to the job's unscheduled aggregator. Grows with wait
-  // time so starving tasks eventually win placements.
-  virtual int64_t UnscheduledCost(const TaskDescriptor& task, SimTime now) = 0;
+  // Translates the round's dirty sets into dirty entities. Tasks in
+  // `tasks_submitted` / `tasks_state_changed` are implicitly dirty — the
+  // policy only marks *additional* tasks (e.g. all tasks after a machine
+  // removal changed the preference-arc candidate set) and the aggregators /
+  // (aggregator, machine) slices whose inputs moved.
+  virtual void CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) = 0;
 
-  // Desired arcs from the task node towards machines and/or aggregators
-  // (the unscheduled arc is managed by the FlowGraphManager). For running
-  // tasks this typically includes a cheap continuation arc to the current
-  // machine, which is what makes preemption a deliberate cost trade-off.
-  virtual void TaskArcs(const TaskDescriptor& task, SimTime now, std::vector<ArcSpec>* out) = 0;
+  // The task's unscheduled-cost schedule (arc to the job's unscheduled
+  // aggregator). Queried when the task is added and whenever it is dirty;
+  // between queries the manager advances the ramp itself.
+  virtual UnscheduledRamp UnscheduledCostRamp(const TaskDescriptor& task) = 0;
 
-  // Desired outgoing arcs of an aggregator node, refreshed every round from
-  // current monitoring statistics (e.g. per-machine load or bandwidth).
+  // --- Task arcs, shared per equivalence class ------------------------------
+  // Key of the task's equivalence class: a hash of exactly the inputs
+  // EquivClassArcs reads (job, locality profile, request size, ...).
+  virtual EquivClass TaskEquivClass(const TaskDescriptor& task) = 0;
+
+  // Desired arcs shared by every task of the class, computed from a
+  // representative member. Must not depend on per-task state that differs
+  // within a class (machine, wait time); that belongs in TaskSpecificArcs.
+  virtual void EquivClassArcs(const TaskDescriptor& representative, SimTime now,
+                              std::vector<ArcSpec>* out) = 0;
+
+  // Per-task arcs on top of the class arcs. For running tasks this typically
+  // includes a cheap continuation arc to the current machine, which is what
+  // makes preemption a deliberate cost trade-off. On a (dst, rank) collision
+  // the task-specific arc wins over the class arc.
+  virtual void TaskSpecificArcs(const TaskDescriptor& task, SimTime now,
+                                std::vector<ArcSpec>* out) {
+    (void)task;
+    (void)now;
+    (void)out;
+  }
+
+  // --- Aggregator arcs -------------------------------------------------------
+  // Every desired outgoing arc of an aggregator node; used when the
+  // aggregator is created or marked fully dirty.
   virtual void AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) = 0;
+
+  // Only the aggregator's arcs towards `machine`; used for
+  // MarkAggregatorMachine so a handful of dirty machines never force a
+  // cluster-wide fan-out recompute. Policies that never mark
+  // (aggregator, machine) pairs can keep the default.
+  virtual void AggregatorMachineArcs(NodeId aggregator, MachineId machine,
+                                     std::vector<ArcSpec>* out) {
+    (void)aggregator;
+    (void)machine;
+    (void)out;
+    // A policy that marks (aggregator, machine) slices dirty must override
+    // this; reaching the default is a contract violation.
+    CHECK(false);
+  }
 
  protected:
   SchedulingPolicy() = default;

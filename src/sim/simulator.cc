@@ -91,6 +91,7 @@ void ClusterSimulator::HandleApplyRound(SimTime now) {
   metrics_.tasks_placed += result.tasks_placed;
   metrics_.tasks_preempted += result.tasks_preempted;
   metrics_.tasks_migrated += result.tasks_migrated;
+  metrics_.graph_update_seconds.Add(static_cast<double>(result.graph_update_us) / 1e6);
 
   RoundLogEntry entry;
   entry.start = round_start_time_;

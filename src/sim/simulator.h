@@ -45,6 +45,9 @@ struct RoundLogEntry {
 struct SimulationMetrics {
   Distribution placement_latency_seconds;  // Fig. 14 / Fig. 18 metric
   Distribution algorithm_runtime_seconds;  // Fig. 3 / Fig. 7 metric
+  // Per-round graph-update cost (Fig. 2b's total minus algorithm slice);
+  // stays flat under the delta-driven policy API as the cluster grows.
+  Distribution graph_update_seconds;
   Distribution batch_task_response_seconds;
   Distribution batch_job_response_seconds;  // Fig. 17 metric
   size_t tasks_completed = 0;

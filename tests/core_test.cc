@@ -394,7 +394,7 @@ TEST(QuincyPolicyTest, PreferenceThresholdGatesArcs) {
   TaskDescriptor task;
   task.input_size_bytes = 1'000'000'000;
   std::vector<ArcSpec> arcs;
-  policy.TaskArcs(task, 0, &arcs);
+  policy.EquivClassArcs(task, 0, &arcs);
   int machine_arcs = 0;
   for (const ArcSpec& arc : arcs) {
     if (scheduler.graph_manager().MachineForNode(arc.dst) != kInvalidMachineId) {

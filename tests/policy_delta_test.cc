@@ -1,0 +1,422 @@
+// Delta-vs-full equivalence for the change-driven policy API (v2).
+//
+// The delta-driven FlowGraphManager must produce a flow network arc-for-arc
+// identical to a from-scratch full refresh after any sequence of cluster
+// events, under every policy. These tests fuzz rounds of task submit /
+// complete / evict and machine churn, canonicalize both graphs (nodes
+// labelled by their cluster entity, arcs by (src, dst, capacity, cost)),
+// and diff them; they also exercise the machine-removal and rack-
+// aggregator-drain paths against ValidateIntegrity, the incremental
+// ClusterState statistics, and the declarative unscheduled-cost ramps.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/core/cluster.h"
+#include "src/core/flow_graph_manager.h"
+#include "src/core/load_spreading_policy.h"
+#include "src/core/network_aware_policy.h"
+#include "src/core/quincy_policy.h"
+#include "src/core/scheduler.h"
+#include "src/sim/block_store.h"
+
+namespace firmament {
+namespace {
+
+constexpr SimTime kSec = kMicrosPerSecond;
+
+enum class Policy { kLoadSpreading, kQuincy, kQuincyWithLocality, kNetworkAware };
+
+const char* PolicyName(Policy kind) {
+  switch (kind) {
+    case Policy::kLoadSpreading:
+      return "load_spreading";
+    case Policy::kQuincy:
+      return "quincy";
+    case Policy::kQuincyWithLocality:
+      return "quincy+locality";
+    case Policy::kNetworkAware:
+      return "network_aware";
+  }
+  return "?";
+}
+
+std::unique_ptr<SchedulingPolicy> MakePolicy(Policy kind, const ClusterState* cluster,
+                                             const BlockStore* store) {
+  switch (kind) {
+    case Policy::kLoadSpreading:
+      return std::make_unique<LoadSpreadingPolicy>(cluster);
+    case Policy::kQuincy:
+      return std::make_unique<QuincyPolicy>(cluster, nullptr);
+    case Policy::kQuincyWithLocality:
+      return std::make_unique<QuincyPolicy>(cluster, store);
+    case Policy::kNetworkAware:
+      return std::make_unique<NetworkAwarePolicy>(cluster);
+  }
+  return nullptr;
+}
+
+// Labels a node by the cluster entity it mirrors, so graphs from different
+// managers (different node ids) compare structurally.
+std::string NodeLabel(const FlowGraphManager& manager, NodeId node) {
+  const FlowNetwork& net = manager.network();
+  switch (net.Kind(node)) {
+    case NodeKind::kSink:
+      return "sink";
+    case NodeKind::kTask:
+      return "t:" + std::to_string(manager.TaskForNode(node));
+    case NodeKind::kMachine:
+      return "m:" + std::to_string(manager.MachineForNode(node));
+    case NodeKind::kAggregator:
+      return "agg:" + manager.AggregatorKeyForNode(node);
+    case NodeKind::kUnscheduled:
+      return "u:" + std::to_string(manager.JobForUnscheduledNode(node));
+    case NodeKind::kGeneric:
+      break;
+  }
+  return "g:" + std::to_string(node);
+}
+
+// Sorted multiset of labelled (src, dst, capacity, cost) arcs plus labelled
+// (node, supply) entries — the canonical form both managers must agree on.
+// Flow is deliberately excluded: it belongs to the solver, not the update.
+std::vector<std::string> CanonicalGraph(const FlowGraphManager& manager) {
+  const FlowNetwork& net = manager.network();
+  std::vector<std::string> canon;
+  for (NodeId node : net.ValidNodes()) {
+    canon.push_back("node " + NodeLabel(manager, node) +
+                    " supply=" + std::to_string(net.Supply(node)));
+    for (ArcRef ref : net.Adjacency(node)) {
+      if (FlowNetwork::RefIsReverse(ref)) {
+        continue;
+      }
+      ArcId arc = FlowNetwork::RefArc(ref);
+      canon.push_back("arc " + NodeLabel(manager, net.Src(arc)) + " -> " +
+                      NodeLabel(manager, net.Dst(arc)) +
+                      " cap=" + std::to_string(net.Capacity(arc)) +
+                      " cost=" + std::to_string(net.Cost(arc)));
+    }
+  }
+  std::sort(canon.begin(), canon.end());
+  return canon;
+}
+
+// Builds a from-scratch reference graph over the same cluster state with a
+// fresh policy instance and diffs it against the delta-maintained graph.
+void ExpectDeltaMatchesFullRefresh(Policy kind, ClusterState& cluster, const BlockStore* store,
+                                   FlowGraphManager& delta_manager, SimTime now,
+                                   const std::string& context) {
+  std::unique_ptr<SchedulingPolicy> ref_policy = MakePolicy(kind, &cluster, store);
+  FlowGraphManager reference(&cluster, ref_policy.get());
+  for (const MachineDescriptor& machine : cluster.machines()) {
+    if (machine.alive) {
+      reference.AddMachine(machine.id);
+    }
+  }
+  for (TaskId task : cluster.LiveTasks()) {
+    reference.AddTask(task, now);
+  }
+  // kFull recomputes everything and leaves the shared cluster's dirty sets
+  // untouched, so the primary manager's change signals survive.
+  reference.UpdateRound(now, RefreshMode::kFull);
+  reference.ValidateIntegrity();
+
+  std::vector<std::string> got = CanonicalGraph(delta_manager);
+  std::vector<std::string> want = CanonicalGraph(reference);
+  if (got == want) {
+    return;
+  }
+  std::vector<std::string> only_delta;
+  std::vector<std::string> only_full;
+  std::set_difference(got.begin(), got.end(), want.begin(), want.end(),
+                      std::back_inserter(only_delta));
+  std::set_difference(want.begin(), want.end(), got.begin(), got.end(),
+                      std::back_inserter(only_full));
+  std::string message = context + " [" + PolicyName(kind) + "]\n  only in delta graph:\n";
+  for (const std::string& line : only_delta) {
+    message += "    " + line + "\n";
+  }
+  message += "  only in full-refresh graph:\n";
+  for (const std::string& line : only_full) {
+    message += "    " + line + "\n";
+  }
+  FAIL() << message;
+}
+
+// Shared fuzz driver: random workload + machine churn, delta graph checked
+// against a full rebuild every round.
+void FuzzDeltaEquivalence(Policy kind, uint64_t seed, int rounds) {
+  ClusterState cluster;
+  std::unique_ptr<BlockStore> store;
+  if (kind == Policy::kQuincyWithLocality) {
+    store = std::make_unique<BlockStore>(&cluster, seed + 1);
+  }
+  std::unique_ptr<SchedulingPolicy> policy = MakePolicy(kind, &cluster, store.get());
+  FirmamentScheduler scheduler(&cluster, policy.get());
+  Rng rng(seed);
+
+  std::vector<RackId> racks;
+  for (int r = 0; r < 3; ++r) {
+    racks.push_back(cluster.AddRack());
+    for (int m = 0; m < 4; ++m) {
+      scheduler.AddMachine(racks.back(), MachineSpec{.slots = 3});
+    }
+  }
+
+  SimTime now = 0;
+  for (int round = 0; round < rounds; ++round) {
+    now += static_cast<SimTime>(rng.NextInt(300, 1'700)) * 1'000;  // 0.3-1.7 s
+
+    // Workload churn: submissions (mixed priorities, inputs, bandwidth).
+    if (rng.NextBool(0.7)) {
+      int job_size = static_cast<int>(rng.NextInt(1, 5));
+      std::vector<TaskDescriptor> tasks(static_cast<size_t>(job_size));
+      for (TaskDescriptor& task : tasks) {
+        task.runtime = static_cast<SimTime>(rng.NextInt(5, 50)) * kSec;
+        task.bandwidth_request_mbps = rng.NextInt(50, 500);
+        if (store != nullptr && rng.NextBool(0.8)) {
+          task.input_size_bytes = rng.NextInt(200'000'000, 2'000'000'000);
+          task.input_blocks = store->AllocateInput(task.input_size_bytes);
+        }
+      }
+      JobType type = rng.NextBool(0.2) ? JobType::kService : JobType::kBatch;
+      scheduler.SubmitJob(type, static_cast<int32_t>(rng.NextInt(0, 2)), std::move(tasks), now);
+    }
+    // Completions.
+    std::vector<TaskId> running;
+    for (TaskId task : cluster.LiveTasks()) {
+      if (cluster.task(task).state == TaskState::kRunning) {
+        running.push_back(task);
+      }
+    }
+    int completions = static_cast<int>(rng.NextInt(0, 2));
+    for (int i = 0; i < completions && !running.empty(); ++i) {
+      size_t pick = rng.NextUint64(running.size());
+      scheduler.CompleteTask(running[pick], now);
+      running[pick] = running.back();
+      running.pop_back();
+    }
+    // Machine churn: failures (evict + remove, possibly draining a rack)
+    // and arrivals.
+    if (rng.NextBool(0.12) && cluster.num_machines() > 2) {
+      std::vector<MachineId> alive;
+      for (const MachineDescriptor& machine : cluster.machines()) {
+        if (machine.alive) {
+          alive.push_back(machine.id);
+        }
+      }
+      MachineId victim = alive[rng.NextUint64(alive.size())];
+      scheduler.RemoveMachine(victim, now);
+      if (store != nullptr) {
+        store->OnMachineRemoved(victim);
+      }
+    }
+    if (rng.NextBool(0.1)) {
+      RackId rack = racks[rng.NextUint64(racks.size())];
+      scheduler.AddMachine(rack, MachineSpec{.slots = static_cast<int32_t>(rng.NextInt(2, 4))});
+    }
+    // Out-of-band monitoring change (background traffic): must reach the
+    // graph through the mutable_machine dirty mark.
+    if (kind == Policy::kNetworkAware && rng.NextBool(0.3)) {
+      std::vector<MachineId> alive;
+      for (const MachineDescriptor& machine : cluster.machines()) {
+        if (machine.alive) {
+          alive.push_back(machine.id);
+        }
+      }
+      MachineId target = alive[rng.NextUint64(alive.size())];
+      cluster.mutable_machine(target).background_bandwidth_mbps = rng.NextInt(0, 8'000);
+    }
+    // Out-of-band spec edit (slot resize): aggregator capacities are built
+    // from spec.slots under every policy, so this too must propagate
+    // through the dirty mark. Never shrink below the machine's current
+    // load so the cluster stays feasible.
+    if (rng.NextBool(0.1)) {
+      std::vector<MachineId> alive;
+      for (const MachineDescriptor& machine : cluster.machines()) {
+        if (machine.alive) {
+          alive.push_back(machine.id);
+        }
+      }
+      MachineId target = alive[rng.NextUint64(alive.size())];
+      int32_t floor_slots = cluster.machine(target).running_tasks;
+      cluster.mutable_machine(target).spec.slots =
+          std::max<int32_t>(floor_slots, static_cast<int32_t>(rng.NextInt(2, 6)));
+    }
+
+    // The delta pass under test; the scheduler's own UpdateRound below then
+    // finds nothing further to change.
+    scheduler.graph_manager().UpdateRound(now);
+    scheduler.graph_manager().ValidateIntegrity();
+    ExpectDeltaMatchesFullRefresh(kind, cluster, store.get(), scheduler.graph_manager(), now,
+                                  "round " + std::to_string(round));
+    if (::testing::Test::HasFailure()) {
+      return;  // one diff is enough; later rounds would cascade
+    }
+
+    SchedulerRoundResult result = scheduler.RunSchedulingRound(now);
+    ASSERT_NE(result.outcome, SolveOutcome::kCancelled);
+  }
+}
+
+TEST(PolicyDeltaEquivalence, LoadSpreadingFuzz) {
+  FuzzDeltaEquivalence(Policy::kLoadSpreading, 101, 40);
+}
+
+TEST(PolicyDeltaEquivalence, QuincyFuzz) { FuzzDeltaEquivalence(Policy::kQuincy, 202, 40); }
+
+TEST(PolicyDeltaEquivalence, QuincyWithLocalityFuzz) {
+  FuzzDeltaEquivalence(Policy::kQuincyWithLocality, 303, 35);
+}
+
+TEST(PolicyDeltaEquivalence, NetworkAwareFuzz) {
+  FuzzDeltaEquivalence(Policy::kNetworkAware, 404, 40);
+}
+
+// ---------------------------------------------------------------------------
+// Targeted structural paths
+// ---------------------------------------------------------------------------
+
+TEST(PolicyDeltaTest, RackAggregatorDrainsWithLastMachine) {
+  ClusterState cluster;
+  QuincyPolicy policy(&cluster, nullptr);
+  FirmamentScheduler scheduler(&cluster, &policy);
+  RackId r0 = cluster.AddRack();
+  RackId r1 = cluster.AddRack();
+  std::vector<MachineId> rack1;
+  scheduler.AddMachine(r0, {.slots = 2});
+  scheduler.AddMachine(r0, {.slots = 2});
+  rack1.push_back(scheduler.AddMachine(r1, {.slots = 2}));
+  rack1.push_back(scheduler.AddMachine(r1, {.slots = 2}));
+  scheduler.SubmitJob(JobType::kBatch, 0, std::vector<TaskDescriptor>(6), 0);
+  scheduler.RunSchedulingRound(kSec);
+  EXPECT_TRUE(scheduler.graph_manager().HasAggregator("rack:1"));
+
+  // Drain rack 1 machine by machine; the aggregator must disappear with the
+  // last one and the graph must stay consistent and schedulable.
+  scheduler.RemoveMachine(rack1[0], 2 * kSec);
+  EXPECT_TRUE(scheduler.graph_manager().HasAggregator("rack:1"));
+  scheduler.graph_manager().ValidateIntegrity();
+  scheduler.RemoveMachine(rack1[1], 2 * kSec);
+  EXPECT_FALSE(scheduler.graph_manager().HasAggregator("rack:1"));
+  scheduler.graph_manager().ValidateIntegrity();
+
+  SchedulerRoundResult result = scheduler.RunSchedulingRound(3 * kSec);
+  scheduler.graph_manager().ValidateIntegrity();
+  EXPECT_EQ(cluster.UsedSlots(), 4);  // everything rescheduled onto rack 0
+  // Fold the round's placements back into the graph, then the delta graph
+  // must still match a from-scratch rebuild.
+  scheduler.graph_manager().UpdateRound(4 * kSec);
+  ExpectDeltaMatchesFullRefresh(Policy::kQuincy, cluster, nullptr, scheduler.graph_manager(),
+                                4 * kSec, "after rack drain");
+  (void)result;
+}
+
+TEST(PolicyDeltaTest, RequestAggregatorDrainsWithLastTask) {
+  ClusterState cluster;
+  NetworkAwarePolicy policy(&cluster);
+  FirmamentScheduler scheduler(&cluster, &policy);
+  RackId rack = cluster.AddRack();
+  scheduler.AddMachine(rack, {.slots = 4});
+  TaskDescriptor task;
+  task.bandwidth_request_mbps = 175;  // bucket 200
+  scheduler.SubmitJob(JobType::kBatch, 0, {task}, 0);
+  scheduler.RunSchedulingRound(kSec);
+  EXPECT_TRUE(scheduler.graph_manager().HasAggregator("ra:200"));
+  TaskId id = cluster.job(0).tasks[0];
+  scheduler.CompleteTask(id, 2 * kSec);
+  scheduler.RunSchedulingRound(3 * kSec);
+  EXPECT_FALSE(scheduler.graph_manager().HasAggregator("ra:200"));
+  scheduler.graph_manager().ValidateIntegrity();
+}
+
+// ---------------------------------------------------------------------------
+// Incremental cluster statistics
+// ---------------------------------------------------------------------------
+
+TEST(ClusterDirtyTrackingTest, LifecycleMarksAndStatsStayConsistent) {
+  ClusterState cluster;
+  RackId rack = cluster.AddRack();
+  MachineId m0 = cluster.AddMachine(rack, {.slots = 4});
+  MachineId m1 = cluster.AddMachine(rack, {.slots = 4});
+  JobId job = cluster.SubmitJob(JobType::kBatch, 0, 0);
+  TaskDescriptor desc;
+  desc.bandwidth_request_mbps = 300;
+  TaskId t0 = cluster.AddTaskToJob(job, desc);
+  TaskId t1 = cluster.AddTaskToJob(job, desc);
+  cluster.ClearDirty();
+
+  cluster.PlaceTask(t0, m0, kSec);
+  cluster.PlaceTask(t1, m1, kSec);
+  EXPECT_EQ(cluster.dirty_machines().count(m0), 1u);
+  EXPECT_EQ(cluster.dirty_machines().count(m1), 1u);
+  EXPECT_EQ(cluster.dirty_tasks().count(t0), 1u);
+
+  cluster.EvictTask(t1, 2 * kSec);
+  // Incremental statistics must equal a from-scratch rebuild at all times.
+  int32_t running_m0 = cluster.machine(m0).running_tasks;
+  int64_t bw_m0 = cluster.machine(m0).used_bandwidth_mbps;
+  int32_t running_m1 = cluster.machine(m1).running_tasks;
+  cluster.RefreshStatistics();
+  EXPECT_EQ(cluster.machine(m0).running_tasks, running_m0);
+  EXPECT_EQ(cluster.machine(m0).used_bandwidth_mbps, bw_m0);
+  EXPECT_EQ(cluster.machine(m1).running_tasks, running_m1);
+  EXPECT_EQ(cluster.machine(m1).running_tasks, 0);
+
+  cluster.ClearDirty();
+  EXPECT_TRUE(cluster.dirty_machines().empty());
+  EXPECT_TRUE(cluster.dirty_tasks().empty());
+  // mutable_machine is the out-of-band escape hatch: it must mark dirty.
+  cluster.mutable_machine(m1).background_bandwidth_mbps = 500;
+  EXPECT_EQ(cluster.dirty_machines().count(m1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Declarative unscheduled-cost ramps
+// ---------------------------------------------------------------------------
+
+TEST(PolicyDeltaTest, RampAdvancesUnscheduledCostWithoutPolicyCalls) {
+  ClusterState cluster;
+  LoadSpreadingParams params;
+  LoadSpreadingPolicy policy(&cluster, params);
+  FlowGraphManager manager(&cluster, &policy);
+  RackId rack = cluster.AddRack();
+  MachineId machine = cluster.AddMachine(rack, {.slots = 1});
+  manager.AddMachine(machine);
+  JobId job = cluster.SubmitJob(JobType::kBatch, 0, 0);
+  TaskId task = cluster.AddTaskToJob(job, {});
+  manager.AddTask(task, 0);
+  manager.UpdateRound(0);
+
+  // The unscheduled arc is the task's arc to the kUnscheduled node.
+  const FlowNetwork& net = *manager.network();
+  NodeId task_node = manager.NodeForTask(task);
+  ArcId unscheduled = kInvalidArcId;
+  for (ArcRef ref : net.Adjacency(task_node)) {
+    if (!FlowNetwork::RefIsReverse(ref) &&
+        net.Kind(net.Dst(FlowNetwork::RefArc(ref))) == NodeKind::kUnscheduled) {
+      unscheduled = FlowNetwork::RefArc(ref);
+    }
+  }
+  ASSERT_NE(unscheduled, kInvalidArcId);
+  EXPECT_EQ(net.Cost(unscheduled), params.base_unscheduled_cost);
+
+  // Advancing time with no cluster events must ramp the cost by omega per
+  // whole second waited — driven by the manager's bucket heap, not by
+  // re-querying the policy for every task.
+  manager.UpdateRound(3 * kSec);
+  EXPECT_EQ(net.Cost(unscheduled), params.base_unscheduled_cost + 3 * params.wait_cost_per_second);
+  manager.UpdateRound(3 * kSec + kSec / 2);  // mid-bucket: no change
+  EXPECT_EQ(net.Cost(unscheduled), params.base_unscheduled_cost + 3 * params.wait_cost_per_second);
+  manager.UpdateRound(10 * kSec);
+  EXPECT_EQ(net.Cost(unscheduled),
+            params.base_unscheduled_cost + 10 * params.wait_cost_per_second);
+}
+
+}  // namespace
+}  // namespace firmament
