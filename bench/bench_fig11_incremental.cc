@@ -27,12 +27,19 @@ std::vector<Row> g_rows;
 
 void Incremental(benchmark::State& state) {
   const bool quincy = state.range(0) == 1;
+  // Arc-fixing ablation for the warm-started solver: 0 = off (default),
+  // 1 = per-phase derive/restore, 2 = persistent (journal-unfixed across
+  // rounds). Judge by the deterministic incremental_iters counter; wall
+  // time on this box is ±25% noise.
+  const int fixing_mode = static_cast<int>(state.range(1));
   const int machines = bench::Scaled(400, 1250);
   // The scheduler itself runs incremental cost scaling (kCostScalingOnly),
   // so its per-round algorithm runtime IS the incremental measurement; the
   // from-scratch solve runs on a copy of the same post-update graph.
   FirmamentSchedulerOptions options;
   options.solver.mode = SolverMode::kCostScalingOnly;
+  options.solver.cost_scaling_arc_fixing = fixing_mode != 0;
+  options.solver.cost_scaling_arc_fix_persist = fixing_mode == 2;
   bench::BenchEnv env(quincy ? bench::PolicyKind::kQuincy : bench::PolicyKind::kLoadSpreading,
                       machines, 10, options);
   SimTime now = env.FillToUtilization(0.6, 0);
@@ -59,8 +66,12 @@ void Incremental(benchmark::State& state) {
   state.counters["speedup_pct"] = 100.0 * (1.0 - incremental.Mean() / scratch.Mean());
   state.counters["incremental_iters"] = incremental_iters.Mean();
   state.counters["scratch_iters"] = scratch_iters.Mean();
-  g_rows.push_back({quincy ? "quincy" : "load_spreading", scratch.Mean(), incremental.Mean(),
-                    scratch_iters.Mean(), incremental_iters.Mean()});
+  const char* label = quincy ? (fixing_mode == 0   ? "quincy"
+                                : fixing_mode == 1 ? "quincy+arcfix_phase"
+                                                   : "quincy+arcfix_persist")
+                             : "load_spreading";
+  g_rows.push_back({label, scratch.Mean(), incremental.Mean(), scratch_iters.Mean(),
+                    incremental_iters.Mean()});
 }
 
 // The graph-update + view-preparation phase cost (Fig. 11's per-round
@@ -148,6 +159,112 @@ void GraphUpdate(benchmark::State& state) {
   state.counters["graph_update_speedup"] = delta_s.Mean() > 0 ? full_s.Mean() / delta_s.Mean() : 0.0;
 }
 
+// Bursty identical submits (the Execution Templates shape): every round
+// submits a job whose tasks share one large input profile — same blocks,
+// same size, one equivalence class. With the cross-round class cache the
+// class's arcs are priced by one policy call *ever*; the legacy per-round
+// cache re-prices it every round, and with ~80 blocks fanning out to
+// hundreds of candidate machines that pricing call dominates the update.
+// Both managers replay the identical submission stream.
+void GraphUpdateBurst(benchmark::State& state) {
+  const int machines = 850;
+  FirmamentSchedulerOptions persistent_options;
+  persistent_options.solver.mode = SolverMode::kCostScalingOnly;
+  FirmamentSchedulerOptions per_round_options = persistent_options;
+  per_round_options.graph.persistent_class_cache = false;
+  bench::BenchEnv persistent_env(bench::PolicyKind::kQuincy, machines, 10, persistent_options);
+  bench::BenchEnv per_round_env(bench::PolicyKind::kQuincy, machines, 10, per_round_options);
+
+  struct Burst {
+    int64_t bytes = 40'000'000'000;  // ~160 blocks; pricing >> per-task work
+    std::vector<uint64_t> blocks;
+  };
+  Burst bursts[2];
+  bench::BenchEnv* envs[2] = {&persistent_env, &per_round_env};
+  auto submit_burst = [](bench::BenchEnv* env, Burst* burst, SimTime now) {
+    if (burst->blocks.empty()) {
+      burst->blocks = env->store()->AllocateInput(burst->bytes);
+    }
+    std::vector<TaskDescriptor> tasks(24);
+    for (TaskDescriptor& task : tasks) {
+      task.runtime = 10'000 * kMicrosPerSecond;
+      task.input_size_bytes = burst->bytes;
+      task.input_blocks = burst->blocks;
+    }
+    env->scheduler().SubmitJob(JobType::kBatch, 0, std::move(tasks), now);
+  };
+
+  SimTime now = 0;
+  // Warmup round: absorbs the persistent cache's one-time class pricing so
+  // the measured rounds compare steady states.
+  now += kMicrosPerSecond;
+  for (int i = 0; i < 2; ++i) {
+    submit_burst(envs[i], &bursts[i], now);
+    envs[i]->scheduler().RunSchedulingRound(now);
+  }
+
+  Distribution persistent_s;
+  Distribution per_round_s;
+  for (auto _ : state) {
+    now += kMicrosPerSecond;
+    double round_persistent_s = 0;
+    for (int i = 0; i < 2; ++i) {
+      submit_burst(envs[i], &bursts[i], now);
+      SchedulerRoundResult result = envs[i]->scheduler().RunSchedulingRound(now);
+      double seconds = static_cast<double>(result.graph_update_us) / 1e6;
+      if (i == 0) {
+        persistent_s.Add(seconds);
+        round_persistent_s = seconds;
+      } else {
+        per_round_s.Add(seconds);
+      }
+    }
+    state.SetIterationTime(round_persistent_s);
+  }
+  state.counters["graph_update_us"] = persistent_s.Mean() * 1e6;
+  state.counters["per_round_cache_us"] = per_round_s.Mean() * 1e6;
+  state.counters["burst_speedup"] =
+      persistent_s.Mean() > 0 ? per_round_s.Mean() / persistent_s.Mean() : 0.0;
+}
+
+// Quincy machine removal with the block -> task reverse index: only tasks
+// whose preference arcs touch the removed machine's blocks are dirtied.
+// The emitted dirty share (refreshed / live tasks) is gated in check.sh —
+// the legacy behaviour pinned it at 1.0.
+void QuincyRemovalDirtyShare(benchmark::State& state) {
+  const int machines = 850;
+  FirmamentSchedulerOptions options;
+  options.solver.mode = SolverMode::kCostScalingOnly;
+  bench::BenchEnv env(bench::PolicyKind::kQuincy, machines, 10, options);
+  SimTime now = env.FillToUtilization(0.6, 0);
+
+  Distribution dirty_share;
+  Distribution update_s;
+  MachineId victim = 3;
+  for (auto _ : state) {
+    while (victim < static_cast<MachineId>(machines) && !env.cluster().machine(victim).alive) {
+      ++victim;
+    }
+    if (victim >= static_cast<MachineId>(machines)) {
+      break;
+    }
+    size_t live = env.cluster().LiveTasks().size();
+    env.scheduler().RemoveMachine(victim, now);
+    env.store()->OnMachineRemoved(victim);
+    now += kMicrosPerSecond;
+    SchedulerRoundResult result = env.scheduler().RunSchedulingRound(now);
+    const UpdateRoundStats& stats = env.manager().last_update_stats();
+    dirty_share.Add(live > 0 ? static_cast<double>(stats.tasks_refreshed) /
+                                   static_cast<double>(live)
+                             : 0.0);
+    update_s.Add(static_cast<double>(result.graph_update_us) / 1e6);
+    state.SetIterationTime(static_cast<double>(result.graph_update_us) / 1e6);
+    victim += 7;  // spread removals across racks
+  }
+  state.counters["removal_dirty_share"] = dirty_share.Mean();
+  state.counters["removal_graph_update_us"] = update_s.Mean() * 1e6;
+}
+
 }  // namespace
 }  // namespace firmament
 
@@ -162,7 +279,16 @@ int main(int argc, char** argv) {
   for (int quincy : {1, 0}) {
     benchmark::RegisterBenchmark(quincy ? "fig11/quincy_policy" : "fig11/load_spreading_policy",
                                  firmament::Incremental)
-        ->Arg(quincy)
+        ->Args({quincy, 0})
+        ->Iterations(firmament::bench::Scaled(6, 10))
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (int fixing_mode : {1, 2}) {
+    benchmark::RegisterBenchmark(fixing_mode == 1 ? "fig11/quincy_policy/arcfix_phase"
+                                                  : "fig11/quincy_policy/arcfix_persist",
+                                 firmament::Incremental)
+        ->Args({1, fixing_mode})
         ->Iterations(firmament::bench::Scaled(6, 10))
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
@@ -180,6 +306,16 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
+  benchmark::RegisterBenchmark("fig11/graph_update_burst/850/quincy",
+                               firmament::GraphUpdateBurst)
+      ->Iterations(firmament::bench::Scaled(8, 16))
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig11/removal_dirty/850/quincy",
+                               firmament::QuincyRemovalDirtyShare)
+      ->Iterations(firmament::bench::Scaled(6, 12))
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
   firmament::bench::RunBenchmarksWithJson("fig11_incremental");
   std::printf("\nFigure 11 summary:\n");
   std::printf("%-20s %14s %16s %10s %14s %14s\n", "policy", "scratch[s]", "incremental[s]",

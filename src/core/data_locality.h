@@ -25,6 +25,20 @@ class DataLocalityInterface {
   // targets for preference arcs.
   virtual void CandidateMachines(const TaskDescriptor& task,
                                  std::vector<MachineId>* out) const = 0;
+  // Appends the blocks with a replica currently on `machine` and returns
+  // true. Feeds the Quincy policy's block -> task reverse index: on a
+  // machine removal, only tasks reading one of these blocks can see their
+  // preference/transfer costs move, so only they (and their equivalence
+  // classes) are dirtied — not the whole task set. Must be queried BEFORE
+  // the store itself drops the machine's replicas (the policy's
+  // OnMachineRemoved hook runs first; see FirmamentScheduler::RemoveMachine
+  // ordering). Sources without a reverse replica index keep the default and
+  // return false; the policy then falls back to dirtying every task.
+  virtual bool BlocksOnMachine(MachineId machine, std::vector<uint64_t>* out) const {
+    (void)machine;
+    (void)out;
+    return false;
+  }
 };
 
 }  // namespace firmament

@@ -93,7 +93,67 @@ void FlowGraphManager::RemoveMachine(MachineId machine) {
   pending_machines_removed_.insert(machine);
 }
 
+void FlowGraphManager::InvalidateClass(EquivClass ec) {
+  auto it = ec_cache_.find(ec);
+  if (it == ec_cache_.end()) {
+    return;
+  }
+  for (const ArcSpec& spec : it->second) {
+    auto idx = ec_dst_index_.find(spec.dst);
+    if (idx != ec_dst_index_.end()) {
+      idx->second.erase(ec);
+      if (idx->second.empty()) {
+        ec_dst_index_.erase(idx);
+      }
+    }
+  }
+  ec_cache_.erase(it);
+  ++update_stats_.classes_invalidated;
+}
+
+void FlowGraphManager::InvalidateClassesReferencing(NodeId dst) {
+  auto idx = ec_dst_index_.find(dst);
+  if (idx == ec_dst_index_.end()) {
+    return;
+  }
+  // InvalidateClass mutates the index; detach the class set first.
+  std::unordered_set<EquivClass> classes = std::move(idx->second);
+  ec_dst_index_.erase(idx);
+  for (EquivClass ec : classes) {
+    InvalidateClass(ec);
+  }
+}
+
+void FlowGraphManager::ClearClassCache() {
+  update_stats_.classes_invalidated += ec_cache_.size();
+  ec_cache_.clear();
+  ec_dst_index_.clear();
+}
+
+void FlowGraphManager::IndexClassArcs(EquivClass ec, const std::vector<ArcSpec>& arcs) {
+  for (const ArcSpec& spec : arcs) {
+    ec_dst_index_[spec.dst].insert(ec);
+  }
+}
+
+void FlowGraphManager::ReleaseClassRef(EquivClass ec) {
+  auto it = ec_refcount_.find(ec);
+  if (it == ec_refcount_.end()) {
+    return;
+  }
+  if (--it->second == 0) {
+    ec_refcount_.erase(it);
+    // No live member remains to carry an invalidation mark for this class;
+    // evict the entry so a repopulated class always recomputes against
+    // current inputs (also what bounds the cache to live classes).
+    InvalidateClass(ec);
+  }
+}
+
 void FlowGraphManager::PurgeArcsTo(NodeId node) {
+  // Cached class entries referencing the node are stale the moment it goes
+  // (the id may be recycled); drop them before touching the graph.
+  InvalidateClassesReferencing(node);
   // Incident arcs disappear with the node; drop the bookkeeping entries of
   // tasks and aggregators pointing at it so their ids are never reused
   // against recycled arc slots.
@@ -201,6 +261,13 @@ void FlowGraphManager::RemoveTask(TaskId task_id) {
     DrainTaskFlow(node);
   }
   JobId job_id = cluster_->task(task_id).job;
+  if (it->second.ec_known) {
+    ReleaseClassRef(it->second.ec);
+  }
+  // Policies never target task or unscheduled nodes from class arcs, but the
+  // invalidation contract is "any removed node drops referencing classes" —
+  // these lookups are O(1) no-ops in practice.
+  InvalidateClassesReferencing(node);
   network_.RemoveNode(node);
   node_to_task_.erase(node);
   task_info_.erase(it);
@@ -210,6 +277,7 @@ void FlowGraphManager::RemoveTask(TaskId task_id) {
   job.live_tasks -= 1;
   if (job.live_tasks == 0) {
     node_to_job_.erase(job.unscheduled_node);
+    InvalidateClassesReferencing(job.unscheduled_node);
     network_.RemoveNode(job.unscheduled_node);
     job_info_.erase(job_id);
   } else {
@@ -351,6 +419,26 @@ size_t FlowGraphManager::ValidateIntegrity() const {
     CHECK_EQ(network_.Capacity(info.to_sink), info.live_tasks);
     ++verified;
   }
+  // Cross-round class cache: every cached spec must target a live node and
+  // be findable through the dst index (else a node removal could not
+  // invalidate it), and the index must not point at evicted entries.
+  for (const auto& [ec, arcs] : ec_cache_) {
+    // Entries exist only while the class has live members (the refcounts
+    // evict at zero, so an unpopulated class can never serve stale arcs).
+    CHECK(ec_refcount_.count(ec) != 0);
+    for (const ArcSpec& spec : arcs) {
+      CHECK(network_.IsValidNode(spec.dst));
+      auto idx = ec_dst_index_.find(spec.dst);
+      CHECK(idx != ec_dst_index_.end());
+      CHECK(idx->second.count(ec) != 0);
+    }
+    ++verified;
+  }
+  for (const auto& [dst, classes] : ec_dst_index_) {
+    for (EquivClass ec : classes) {
+      CHECK(ec_cache_.count(ec) != 0);
+    }
+  }
   return verified;
 }
 
@@ -361,16 +449,32 @@ void FlowGraphManager::RefreshTask(TaskId task_id, SimTime now) {
   }
   TaskInfo& info = it->second;
   const TaskDescriptor& task = cluster_->task(task_id);
+  ++update_stats_.tasks_refreshed;
   // Task-specific arcs first: on a (dst, rank) collision the specific arc
   // (e.g. a running task's continuation arc to a machine that is also a
   // preference destination) must win over the shared class arc.
   scratch_specs_.clear();
   policy_->TaskSpecificArcs(task, now, &scratch_specs_);
   EquivClass ec = policy_->TaskEquivClass(task);
+  if (!info.ec_known) {
+    info.ec = ec;
+    info.ec_known = true;
+    ++ec_refcount_[ec];
+  } else if (info.ec != ec) {
+    ReleaseClassRef(info.ec);
+    info.ec = ec;
+    ++ec_refcount_[ec];
+  }
   auto [cache_it, inserted] = ec_cache_.try_emplace(ec);
   if (inserted) {
-    // First member of the class this round: compute the shared arcs once.
+    // First member of the class since its entry was (last) invalidated:
+    // compute the shared arcs once and register them in the dst index so
+    // node removals can find the entry.
     policy_->EquivClassArcs(task, now, &cache_it->second);
+    IndexClassArcs(ec, cache_it->second);
+    ++update_stats_.class_cache_misses;
+  } else {
+    ++update_stats_.class_cache_hits;
   }
   scratch_specs_.insert(scratch_specs_.end(), cache_it->second.begin(), cache_it->second.end());
   DiffArcs(info.node, scratch_specs_, &info.arcs);
@@ -441,7 +545,19 @@ void FlowGraphManager::UpdateRound(SimTime now, RefreshMode mode) {
   }
 
   // Task arcs for the round's dirty tasks, shared per equivalence class.
-  ec_cache_.clear();
+  // The cache persists across rounds; only invalidated entries recompute.
+  // A full refresh (and the legacy per-round mode) drops it wholesale so
+  // every class is recomputed from current state, and MarkAllTasks — the
+  // policies' wide-invalidation escape hatch — does the same since it
+  // signals "anything may have changed".
+  if (full || marks_.all_tasks || marks_.all_equiv_classes ||
+      !options_.persistent_class_cache) {
+    ClearClassCache();
+  } else {
+    for (EquivClass ec : marks_.equiv_classes) {
+      InvalidateClass(ec);
+    }
+  }
   std::set<TaskId> dirty_tasks;
   if (full || marks_.all_tasks) {
     // Rare wide invalidation (first round, forced refresh, machine removal):
@@ -513,6 +629,8 @@ void FlowGraphManager::UpdateRound(SimTime now, RefreshMode mode) {
   pending_tasks_removed_.clear();
   pending_machines_added_.clear();
   pending_machines_removed_.clear();
+  last_update_stats_ = update_stats_;
+  update_stats_ = UpdateRoundStats{};
 }
 
 }  // namespace firmament

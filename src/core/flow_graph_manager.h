@@ -11,12 +11,19 @@
 // buffered into typed dirty sets, the policy translates them into dirty
 // tasks and dirty aggregator arc slices (SchedulingPolicy::CollectDirty),
 // and only those entities have their arcs recomputed — tasks through a
-// per-equivalence-class arc cache so identical tasks cost one policy call
-// per class per round. Time-varying unscheduled costs advance through the
-// policies' declarative ramps: a bucket-ordered heap pokes only the arcs of
-// tasks that crossed a bucket boundary. Everything else keeps last round's
-// arcs verbatim, making the graph-update pass O(|changed|) instead of
-// O(cluster).
+// *cross-round* per-equivalence-class arc cache so identical tasks cost one
+// policy call per class while the class stays populated, not per round.
+// Cache entries are invalidated from deltas: the manager drops every class
+// whose cached arcs reference a node leaving the graph (the dst -> classes
+// reverse index below), the policy marks classes whose arc costs moved
+// without a node disappearing (PolicyDirtySink::MarkEquivClass), and an
+// entry is evicted with its class's last live member — an unpopulated
+// class has no task left to carry an invalidation mark, so its inputs
+// could drift unobserved until an identical resubmission hit stale arcs. Time-varying unscheduled costs advance
+// through the policies' declarative ramps: a bucket-ordered heap pokes only
+// the arcs of tasks that crossed a bucket boundary. Everything else keeps
+// last round's arcs verbatim, making the graph-update pass O(|changed|)
+// instead of O(cluster).
 
 #ifndef SRC_CORE_FLOW_GRAPH_MANAGER_H_
 #define SRC_CORE_FLOW_GRAPH_MANAGER_H_
@@ -28,6 +35,7 @@
 #include <string>
 #include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -43,6 +51,11 @@ struct FlowGraphManagerOptions {
   // of flow to the sink and drain it so feasibility is preserved and
   // incremental cost scaling repairs less (Fig. 12b ablates this).
   bool task_removal_drain = true;
+  // Keep the equivalence-class arc cache across rounds, invalidated from
+  // deltas (node removals + policy MarkEquivClass). OFF restores the legacy
+  // per-round cache (cleared at the top of every UpdateRound) — kept for
+  // the fig11 bursty-submit ablation and as a bisection aid.
+  bool persistent_class_cache = true;
 };
 
 // How UpdateRound refreshes the graph. kDelta (the default) consumes the
@@ -51,6 +64,15 @@ struct FlowGraphManagerOptions {
 // path, kept for equivalence tests and as the bench reference the delta
 // path is gated against.
 enum class RefreshMode : uint8_t { kDelta, kFull };
+
+// Counters for the last UpdateRound call; consumed by tests (the Quincy
+// machine-removal dirty-count assertion) and the fig11 bursty-submit bench.
+struct UpdateRoundStats {
+  size_t tasks_refreshed = 0;       // RefreshTask calls this round
+  size_t class_cache_hits = 0;      // class arcs served from the cache
+  size_t class_cache_misses = 0;    // EquivClassArcs policy calls
+  size_t classes_invalidated = 0;   // entries dropped (marks + node removals)
+};
 
 class FlowGraphManager {
  public:
@@ -90,6 +112,11 @@ class FlowGraphManager {
   // to compare graphs structurally across managers.
   std::string AggregatorKeyForNode(NodeId node) const;
   JobId JobForUnscheduledNode(NodeId node) const;
+  // Counters covering the window from the end of the previous UpdateRound
+  // through the end of the last one (so invalidations triggered by cluster
+  // events between rounds are attributed to the round that absorbs them).
+  const UpdateRoundStats& last_update_stats() const { return last_update_stats_; }
+  size_t class_cache_size() const { return ec_cache_.size(); }
 
   // --- Services for policies ---------------------------------------------------
   // Verifies internal consistency between the bookkeeping maps and the flow
@@ -119,6 +146,11 @@ class FlowGraphManager {
     // generation that invalidates stale crossing events.
     UnscheduledRamp ramp;
     uint32_t ramp_gen = 0;
+    // Equivalence class the task's arcs were last built from; feeds the
+    // class refcounts so a class's cache entry is evicted with its last
+    // live member (see ec_refcount_).
+    EquivClass ec = 0;
+    bool ec_known = false;
   };
   struct JobInfo {
     NodeId unscheduled_node = kInvalidNodeId;
@@ -141,19 +173,25 @@ class FlowGraphManager {
       aggregator_machines.insert({aggregator, machine});
     }
     void MarkAllAggregators() override { all_aggregators = true; }
+    void MarkEquivClass(EquivClass ec) override { equiv_classes.insert(ec); }
+    void MarkAllEquivClasses() override { all_equiv_classes = true; }
     void Clear() {
       tasks.clear();
       aggregators.clear();
       aggregator_machines.clear();
+      equiv_classes.clear();
       all_tasks = false;
       all_aggregators = false;
+      all_equiv_classes = false;
     }
 
     std::set<TaskId> tasks;
     std::set<NodeId> aggregators;
     std::set<std::pair<NodeId, MachineId>> aggregator_machines;
+    std::set<EquivClass> equiv_classes;
     bool all_tasks = false;
     bool all_aggregators = false;
+    bool all_equiv_classes = false;
   };
 
   // Replaces `current` arcs from `src` with `desired`, reusing arcs whose
@@ -181,10 +219,22 @@ class FlowGraphManager {
   // Walks one unit of the task's flow to the sink and drains it (§5.3.2).
   void DrainTaskFlow(NodeId task_node);
   // Purges references to a node that is about to be removed from the maps
-  // of tasks/aggregators that have arcs to it.
+  // of tasks/aggregators that have arcs to it, and invalidates every cached
+  // equivalence class whose arcs reference it (the node id may be recycled;
+  // a stale cached ArcSpec would re-target the recycled node).
   void PurgeArcsTo(NodeId node);
   // Drops every (dst, rank) entry pointing at `dst` from an arc map.
   static void EraseArcsTo(ArcMap* arcs, NodeId dst);
+  // Erases one class from the cross-round cache (and the dst index).
+  void InvalidateClass(EquivClass ec);
+  // Erases every class whose cached arcs reference `dst`.
+  void InvalidateClassesReferencing(NodeId dst);
+  // Drops the whole cache (full refreshes and MarkAllTasks/-EquivClasses).
+  void ClearClassCache();
+  // Registers a freshly computed class entry in the dst index.
+  void IndexClassArcs(EquivClass ec, const std::vector<ArcSpec>& arcs);
+  // Drops one live-member reference; evicts the cache entry at zero.
+  void ReleaseClassRef(EquivClass ec);
 
   ClusterState* cluster_;
   SchedulingPolicy* policy_;
@@ -212,8 +262,22 @@ class FlowGraphManager {
   DirtyMarks marks_;
   PolicyUpdate update_;  // reused across rounds
 
-  // Per-round equivalence-class arc cache: class key -> shared arc specs.
+  // Cross-round equivalence-class arc cache: class key -> shared arc specs,
+  // reused verbatim until invalidated. ec_dst_index_ is the reverse index
+  // (arc destination -> classes whose cached specs reference it) that node
+  // removals invalidate through; with persistent_class_cache=false the
+  // cache degenerates to the legacy per-round one (cleared every round).
   std::unordered_map<EquivClass, std::vector<ArcSpec>> ec_cache_;
+  std::unordered_map<NodeId, std::unordered_set<EquivClass>> ec_dst_index_;
+  // Live tasks per class (from TaskInfo::ec). When the count hits zero the
+  // class's cache entry is evicted: an unpopulated class has no task left
+  // to carry an invalidation mark, so its inputs could silently drift
+  // (e.g. a machine removal dropping replicas that feed its costs) and a
+  // later identical resubmission would hit the stale entry. Eviction makes
+  // the first member of a repopulated class always recompute.
+  std::unordered_map<EquivClass, uint32_t> ec_refcount_;
+  UpdateRoundStats update_stats_;       // accumulating window
+  UpdateRoundStats last_update_stats_;  // snapshot at UpdateRound end
 
   // Min-heap of (crossing time, task, ramp generation): the next moment each
   // waiting task's unscheduled cost steps to the next bucket.

@@ -12,6 +12,10 @@
 // the same single arc to X), and a machine's load change dirties only the
 // X -> machine arc slice — the cluster-wide fan-out is never recomputed
 // wholesale outside full refreshes.
+//
+// Cross-round class cache: the single class arc {X, 1, 0} is constant and
+// X is never removed, so this policy never needs MarkEquivClass — the one
+// cached entry lives for the manager's lifetime.
 
 #ifndef SRC_CORE_LOAD_SPREADING_POLICY_H_
 #define SRC_CORE_LOAD_SPREADING_POLICY_H_

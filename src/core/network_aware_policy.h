@@ -13,6 +13,12 @@
 // being recounted every round, an RA whose class empties is drained from
 // the graph, and a machine's bandwidth change dirties only each RA's arc
 // slice towards that machine.
+//
+// Cross-round class cache: a class's only arc targets its RA node at
+// constant cost, so the sole invalidation source is the RA node being
+// drained and later recreated under a fresh NodeId — which the manager's
+// node-removal invalidation (dst -> classes reverse index) covers without
+// any MarkEquivClass calls from this policy.
 
 #ifndef SRC_CORE_NETWORK_AWARE_POLICY_H_
 #define SRC_CORE_NETWORK_AWARE_POLICY_H_

@@ -50,10 +50,57 @@ void QuincyPolicy::OnMachineRemoved(MachineId machine) {
     manager_->RemoveAggregator(RackKey(rack));
   }
   slots_seen_.erase(machine);
+  // Capture the tasks whose preference/transfer costs this removal can
+  // move: exactly those reading a block replicated on the machine (their
+  // BytesOnMachine / BytesInRack inputs change when the replicas drop).
+  // Queried now, while the locality source still lists the machine's
+  // replicas; CollectDirty turns the set into task + class marks next
+  // round. Tasks without blocks here keep arcs and costs verbatim.
+  if (locality_ != nullptr) {
+    scratch_blocks_.clear();
+    if (locality_->BlocksOnMachine(machine, &scratch_blocks_)) {
+      for (uint64_t block : scratch_blocks_) {
+        auto it = block_tasks_.find(block);
+        if (it != block_tasks_.end()) {
+          pending_affected_tasks_.insert(it->second.begin(), it->second.end());
+        }
+      }
+    } else {
+      pending_dirty_all_ = true;
+    }
+  }
+}
+
+void QuincyPolicy::OnTaskAdded(const TaskDescriptor& task) {
+  if (locality_ == nullptr) {
+    return;
+  }
+  for (uint64_t block : task.input_blocks) {
+    block_tasks_[block].insert(task.id);
+  }
+}
+
+void QuincyPolicy::OnTaskRemoved(const TaskDescriptor& task) {
+  if (locality_ == nullptr) {
+    return;
+  }
+  for (uint64_t block : task.input_blocks) {
+    auto it = block_tasks_.find(block);
+    if (it != block_tasks_.end()) {
+      it->second.erase(task.id);
+      if (it->second.empty()) {
+        block_tasks_.erase(it);
+      }
+    }
+  }
 }
 
 void QuincyPolicy::CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) {
   if (update.full) {
+    // The full refresh recomputes every task and drops the class cache;
+    // pending removal marks are subsumed.
+    pending_affected_tasks_.clear();
+    pending_dirty_all_ = false;
     return;
   }
   // Machine *load* never feeds Quincy's costs (they are data-transfer
@@ -94,8 +141,32 @@ void QuincyPolicy::CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sin
     }
   }
   if (!update.machines_removed.empty()) {
-    sink->MarkAllTasks();
+    if (pending_dirty_all_) {
+      // Locality source without a reverse replica index: any task's costs
+      // may have moved, so fall back to the legacy wide invalidation.
+      sink->MarkAllTasks();
+      sink->MarkAllEquivClasses();
+    } else {
+      // Targeted invalidation via the block -> task reverse index: only
+      // tasks reading a block that lost a replica on the removed machine
+      // see different preference candidates or transfer costs. Their class
+      // entries are stale too (all tasks of a class share the same blocks,
+      // so marking the affected tasks covers each marked class's whole
+      // membership). Classes whose cached arcs pointed at the removed
+      // machine's node were already dropped by the manager's node-removal
+      // invalidation; this adds the ones whose costs moved without an arc
+      // to the machine itself.
+      for (TaskId task : pending_affected_tasks_) {
+        if (!cluster_->HasTask(task)) {
+          continue;  // completed since the removal
+        }
+        sink->MarkTask(task);
+        sink->MarkEquivClass(TaskEquivClass(cluster_->task(task)));
+      }
+    }
   }
+  pending_affected_tasks_.clear();
+  pending_dirty_all_ = false;
 }
 
 UnscheduledRamp QuincyPolicy::UnscheduledCostRamp(const TaskDescriptor& task) {

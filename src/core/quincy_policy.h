@@ -16,14 +16,20 @@
 // v2 delta contract: preference and fallback arcs depend only on the task's
 // input profile (size + block placement) and cluster topology, so the
 // equivalence class hashes the input profile — tasks reading the same
-// blocks share one arc computation per round. Machine statistics never
-// dirty anything here (costs are data-transfer prices, not load); only
-// topology changes fan out, and a machine removal conservatively dirties
-// all tasks because preference candidates may have changed.
+// blocks share one arc computation, cached across rounds. Machine
+// statistics never dirty anything here (costs are data-transfer prices, not
+// load); only topology changes fan out. A machine removal dirties exactly
+// the tasks whose preference arcs can move — those reading a block
+// replicated on the removed machine, found through the block -> task
+// reverse index fed by the locality source's reverse replica index
+// (DataLocalityInterface::BlocksOnMachine) — plus their equivalence
+// classes; locality sources without that index fall back to the old
+// dirty-everything behaviour.
 
 #ifndef SRC_CORE_QUINCY_POLICY_H_
 #define SRC_CORE_QUINCY_POLICY_H_
 
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,6 +68,8 @@ class QuincyPolicy : public SchedulingPolicy {
   void Initialize(FlowGraphManager* manager) override;
   void OnMachineAdded(MachineId machine) override;
   void OnMachineRemoved(MachineId machine) override;
+  void OnTaskAdded(const TaskDescriptor& task) override;
+  void OnTaskRemoved(const TaskDescriptor& task) override;
   void CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) override;
   UnscheduledRamp UnscheduledCostRamp(const TaskDescriptor& task) override;
   EquivClass TaskEquivClass(const TaskDescriptor& task) override;
@@ -90,6 +98,16 @@ class QuincyPolicy : public SchedulingPolicy {
   // Slot count each machine's aggregator arcs were last built from;
   // detects out-of-band spec edits arriving as stats-dirty marks.
   std::unordered_map<MachineId, int32_t> slots_seen_;
+  // Block -> live tasks reading it, maintained by the task lifecycle hooks.
+  // OnMachineRemoved resolves the removed machine's blocks through it
+  // (while the locality source still lists them) into the pending affected
+  // set, which CollectDirty turns into targeted task + class marks.
+  std::unordered_map<uint64_t, std::set<TaskId>> block_tasks_;
+  std::set<TaskId> pending_affected_tasks_;
+  // Fallback: the locality source cannot enumerate a machine's blocks, so
+  // the next round must dirty every task (legacy behaviour).
+  bool pending_dirty_all_ = false;
+  std::vector<uint64_t> scratch_blocks_;
 };
 
 }  // namespace firmament

@@ -18,6 +18,11 @@ MachineId FirmamentScheduler::AddMachine(RackId rack, const MachineSpec& spec) {
 }
 
 void FirmamentScheduler::RemoveMachine(MachineId machine, SimTime now) {
+  // Callers driving a locality store (BlockStore) must notify it AFTER this
+  // returns: the policy's OnMachineRemoved hook (inside the graph manager's
+  // removal) queries the machine's replicas to compute the affected task
+  // set, so the store must still list them here — see
+  // DataLocalityInterface::BlocksOnMachine.
   for (TaskId task : cluster_->RunningTasksOn(machine)) {
     cluster_->EvictTask(task, now);
   }

@@ -27,8 +27,17 @@
 //
 //  * Task equivalence classes (à la Firmament's cost-model API). Tasks with
 //    identical policy inputs share a class whose arcs are computed once per
-//    class per round; per-task extras (e.g. the running task's continuation
-//    arc) stay separate in TaskSpecificArcs.
+//    class and cached *across rounds*; per-task extras (e.g. the running
+//    task's continuation arc) stay separate in TaskSpecificArcs. The cache
+//    is invalidated from deltas, never rebuilt wholesale: the manager drops
+//    every class whose cached arcs reference a node that leaves the graph
+//    (machine removed, aggregator drained), and the policy marks classes
+//    whose arc *costs* moved without a node disappearing
+//    (PolicyDirtySink::MarkEquivClass — e.g. Quincy when a machine removal
+//    drops block replicas that feed surviving machines' transfer costs).
+//    Consequently EquivClassArcs must be a pure function of the class's
+//    declared inputs and live topology — in particular it must NOT depend on
+//    `now` or on any statistic the policy does not invalidate on.
 
 #ifndef SRC_CORE_SCHEDULING_POLICY_H_
 #define SRC_CORE_SCHEDULING_POLICY_H_
@@ -70,6 +79,12 @@ struct PolicyUpdate {
   std::vector<MachineId> machines_stats_changed;  // load / bandwidth moved
 };
 
+// Opaque equivalence-class key: tasks mapping to the same key must want
+// identical EquivClassArcs (policies hash exactly the inputs those arcs
+// depend on). The manager computes class arcs once per class and caches
+// them across rounds (see the invalidation contract above).
+using EquivClass = uint64_t;
+
 // Collector the manager passes to CollectDirty: the policy marks the
 // entities whose arcs must be recomputed this round. Unmarked entities keep
 // their arcs untouched, which is what makes the round O(|changed|).
@@ -85,6 +100,13 @@ class PolicyDirtySink {
   // (AggregatorMachineArcs); other destinations keep their arcs.
   virtual void MarkAggregatorMachine(NodeId aggregator, MachineId machine) = 0;
   virtual void MarkAllAggregators() = 0;
+  // Invalidate the class's entry in the cross-round equivalence-class arc
+  // cache: the next dirty task of the class recomputes EquivClassArcs
+  // instead of reusing the cached specs. Marking a class does NOT mark its
+  // tasks — a policy whose class arcs changed must mark the affected tasks
+  // too, or their graph arcs keep the previous values.
+  virtual void MarkEquivClass(EquivClass ec) = 0;
+  virtual void MarkAllEquivClasses() = 0;
 };
 
 // Declarative unscheduled-cost schedule: a task waiting W microseconds pays
@@ -98,11 +120,6 @@ struct UnscheduledRamp {
   int64_t cost_per_bucket = 0;
   SimTime bucket_width = kMicrosPerSecond;
 };
-
-// Opaque equivalence-class key: tasks mapping to the same key must want
-// identical EquivClassArcs (policies hash exactly the inputs those arcs
-// depend on). The manager computes class arcs once per class per round.
-using EquivClass = uint64_t;
 
 class SchedulingPolicy {
  public:
@@ -154,6 +171,9 @@ class SchedulingPolicy {
   // Desired arcs shared by every task of the class, computed from a
   // representative member. Must not depend on per-task state that differs
   // within a class (machine, wait time); that belongs in TaskSpecificArcs.
+  // Cached across rounds: the result is reused verbatim until the class is
+  // invalidated (node removal, or the policy's own MarkEquivClass), so it
+  // must not read `now` or any input the policy does not invalidate on.
   virtual void EquivClassArcs(const TaskDescriptor& representative, SimTime now,
                               std::vector<ArcSpec>* out) = 0;
 

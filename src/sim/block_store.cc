@@ -28,6 +28,7 @@ std::vector<uint64_t> BlockStore::AllocateInput(int64_t bytes) {
       } while (std::find(block.replicas.begin(), block.replicas.end(), machine) !=
                block.replicas.end());
       block.replicas.push_back(machine);
+      machine_blocks_[machine].push_back(blocks_.size());
     }
     ids.push_back(blocks_.size());
     blocks_.push_back(std::move(block));
@@ -36,10 +37,24 @@ std::vector<uint64_t> BlockStore::AllocateInput(int64_t bytes) {
 }
 
 void BlockStore::OnMachineRemoved(MachineId machine) {
-  for (Block& block : blocks_) {
+  auto it = machine_blocks_.find(machine);
+  if (it == machine_blocks_.end()) {
+    return;
+  }
+  for (uint64_t id : it->second) {
+    Block& block = blocks_[id];
     block.replicas.erase(std::remove(block.replicas.begin(), block.replicas.end(), machine),
                          block.replicas.end());
   }
+  machine_blocks_.erase(it);
+}
+
+bool BlockStore::BlocksOnMachine(MachineId machine, std::vector<uint64_t>* out) const {
+  auto it = machine_blocks_.find(machine);
+  if (it != machine_blocks_.end()) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  return true;
 }
 
 int64_t BlockStore::BytesOnMachine(const TaskDescriptor& task, MachineId machine) const {

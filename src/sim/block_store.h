@@ -31,12 +31,15 @@ class BlockStore : public DataLocalityInterface {
   std::vector<uint64_t> AllocateInput(int64_t bytes);
 
   // Drops all replicas on a failed machine (blocks may lose locality).
+  // O(blocks on the machine) via the machine -> blocks index, not O(all
+  // blocks).
   void OnMachineRemoved(MachineId machine);
 
   // DataLocalityInterface:
   int64_t BytesOnMachine(const TaskDescriptor& task, MachineId machine) const override;
   int64_t BytesInRack(const TaskDescriptor& task, RackId rack) const override;
   void CandidateMachines(const TaskDescriptor& task, std::vector<MachineId>* out) const override;
+  bool BlocksOnMachine(MachineId machine, std::vector<uint64_t>* out) const override;
 
   size_t num_blocks() const { return blocks_.size(); }
   int64_t block_size() const { return block_size_; }
@@ -52,6 +55,9 @@ class BlockStore : public DataLocalityInterface {
   int64_t block_size_;
   int replication_;
   std::vector<Block> blocks_;
+  // Reverse replica index: machine -> blocks with a replica there. Kept in
+  // sync by AllocateInput/OnMachineRemoved; consumed by BlocksOnMachine.
+  std::unordered_map<MachineId, std::vector<uint64_t>> machine_blocks_;
 };
 
 }  // namespace firmament

@@ -78,6 +78,7 @@ void CostScaling::ResetState() {
   potential_.clear();
   scale_ = 0;
   has_pending_import_ = false;
+  fixed_.clear();
   view_.Invalidate();
 }
 
@@ -148,6 +149,44 @@ SolveStats CostScaling::SolveView(const FlowNetwork& network, const std::atomic<
   // costs: one cache line per probed residual arc instead of scattered SoA
   // loads, and no per-probe cost multiply.
   view.BuildResidualStar(scale, &star_);
+  // --- Persistent arc fixing: re-arm across warm-started rounds -----------
+  // fixed_ carries the refs the previous solve proved unreachable. The star
+  // rebuild above made every residual visible again; re-hide the entries
+  // that survived the round's graph changes — unfixing exactly the arcs the
+  // GraphChange journal touched (cost/capacity deltas and tombstones, via
+  // the view's touched-arc list), plus any arc the previous winner's flow
+  // actually uses. The first refine then validates the survivors against
+  // its own 3nε bar instead of re-deriving the whole set. A view that fell
+  // off the patch path renumbered the dense space, so the set is dropped.
+  if (!fixed_.empty()) {
+    if (options_.incremental && options_.arc_fixing && options_.arc_fix_persist &&
+        stats.view_prep == FlowNetworkView::PrepareResult::kPatched) {
+      touched_scratch_.clear();
+      touched_scratch_.insert(view.touched_arcs().begin(), view.touched_arcs().end());
+      size_t kept = 0;
+      for (const auto& [ref, hidden] : fixed_) {
+        uint32_t a = FlowNetworkView::RefArc(ref);
+        if (a >= view.num_arcs() || touched_scratch_.count(a) != 0 || view.Flow(a) != 0 ||
+            view.Capacity(a) <= 0) {
+          // Journal-touched, flow-carrying, or tombstoned: the conclusion
+          // "unreachable this phase" was derived under inputs that no
+          // longer hold, so the arc rejoins the visible star. This is what
+          // keeps MaxViolation's measured-ε honest — a cost drop on a
+          // hidden arc would otherwise be invisible to it.
+          ++stats.arcs_unfixed;
+          continue;
+        }
+        ResidualEntry& fwd = star_[FlowNetworkView::MakeRef(a, false)];
+        fixed_[kept++] = {FlowNetworkView::MakeRef(a, false), fwd.residual};
+        fwd.residual = 0;
+        (void)hidden;
+      }
+      fixed_.resize(kept);
+      stats.arcs_fixed = kept;
+    } else {
+      fixed_.clear();
+    }
+  }
   // Excess is maintained incrementally from here on: Refine's saturation and
   // discharge adjust it arc by arc, so it is never recomputed per phase.
   excess_.assign(n, 0);
@@ -439,7 +478,25 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
   // arc look fixable).
   const bool fixing = allow_arc_fixing;
   const int64_t fix_bar = kArcFixFactorN * static_cast<int64_t>(n) * eps;
-  fixed_.clear();
+  // Entries carried over from the previous phase or round (persistent
+  // fixing) are validated, not re-derived: anything at or below THIS
+  // phase's bar is restored and rejoins the sweep below; survivors stay
+  // hidden. When fixing is disabled for the phase (cold ε = scale starts),
+  // everything is restored.
+  if (!fixed_.empty()) {
+    size_t kept = 0;
+    for (const auto& [ref, hidden] : fixed_) {
+      ResidualEntry& fwd = star_[ref];
+      const ResidualEntry& rev = star_[ref ^ 1u];
+      int64_t c_pi = fwd.cost - pi_[rev.head] + pi_[fwd.head];
+      if (fixing && c_pi > fix_bar) {
+        fixed_[kept++] = {ref, hidden};
+      } else {
+        fwd.residual += hidden;
+      }
+    }
+    fixed_.resize(kept);
+  }
   for (uint32_t a = 0; a < m; ++a) {
     ResidualEntry& fwd = star_[FlowNetworkView::MakeRef(a, false)];
     ResidualEntry& rev = star_[FlowNetworkView::MakeRef(a, true)];
@@ -463,6 +520,8 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
     }
   }
 
+  stats->arcs_fixed = std::max<uint64_t>(stats->arcs_fixed, fixed_.size());
+
   cur_arc_.resize(n);
   for (uint32_t v = 0; v < n; ++v) {
     cur_arc_[v] = view.first_out(v);
@@ -480,15 +539,29 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
   const bool wave = options_.wave_ordering;
   uint32_t relabels_since_update = 0;
   uint64_t pushes_since_poll = 0;
-  uint32_t active_count = 0;   // wave mode
-  bool order_dirty = false;    // wave mode: sweep must restart
   std::deque<uint32_t> fifo;   // FIFO mode
   in_queue_.assign(n, false);  // FIFO mode
+  wave_heap_.clear();          // wave mode
+
+  // Wave ordering discharges the active node in the highest π/ε bucket
+  // first: admissible arcs run from higher towards lower potential, so the
+  // bucket order approximates a topological sweep of the admissible
+  // network and excess travels many hops per wave. Entries are lazy — a
+  // node drained before its pop is skipped — so nothing is deleted
+  // mid-heap.
+  auto wave_key = [&](uint32_t v) {
+    int64_t p = pi_[v];
+    return p >= 0 ? p / eps : -((-p + eps - 1) / eps);  // floor division
+  };
+  auto wave_push = [&](uint32_t v) {
+    wave_heap_.emplace_back(wave_key(v), v);
+    std::push_heap(wave_heap_.begin(), wave_heap_.end());
+  };
 
   for (uint32_t v = 0; v < n; ++v) {
     if (excess_[v] > 0) {
       if (wave) {
-        ++active_count;
+        wave_push(v);
       } else {
         fifo.push_back(v);
         in_queue_[v] = true;
@@ -498,19 +571,30 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
 
   auto enqueue_active = [&](uint32_t v) {
     if (wave) {
-      ++active_count;
+      wave_push(v);
     } else if (!in_queue_[v]) {
       fifo.push_back(v);
       in_queue_[v] = true;
     }
   };
 
-  // The node a discharge() call is currently draining, or n when none. Its
-  // wave-mode activation token is released by discharge's own epilogue, so
-  // a repair that drains it mid-discharge must NOT also decrement
-  // active_count (the double decrement would end the sweep with undrained
-  // excess elsewhere and return an infeasible "optimal" flow).
-  uint32_t discharging = n;
+  // Saturates one restored arc that violates ε-optimality (c_pi < -ε),
+  // enqueueing the excess that creates; shared by the full-restore repair
+  // and the persistent phase-end pass. A source drained without a
+  // discharge leaves a stale queue entry behind in either mode; the
+  // pop-side staleness checks skip it.
+  auto saturate_restored = [&](uint32_t ref) {
+    ResidualEntry& fwd = star_[ref];
+    ResidualEntry& rev = star_[ref ^ 1u];
+    bool dst_was_active = excess_[fwd.head] > 0;
+    excess_[rev.head] -= fwd.residual;
+    excess_[fwd.head] += fwd.residual;
+    rev.residual += fwd.residual;
+    fwd.residual = 0;
+    if (!dst_was_active && excess_[fwd.head] > 0) {
+      enqueue_active(fwd.head);
+    }
+  };
 
   // Restores every hidden residual; with `repair`, additionally saturates
   // any restored arc the phase relabeled past its fixing bar (c_pi < -ε),
@@ -525,34 +609,47 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
     if (repair) {
       for (const auto& [ref, residual] : fixed_) {
         ResidualEntry& fwd = star_[ref];
-        ResidualEntry& rev = star_[ref ^ 1u];
+        const ResidualEntry& rev = star_[ref ^ 1u];
         if (fwd.residual <= 0) {
           continue;
         }
         int64_t c_pi = fwd.cost - pi_[rev.head] + pi_[fwd.head];
         if (c_pi < -eps) {
-          bool dst_was_active = excess_[fwd.head] > 0;
-          bool src_was_active = excess_[rev.head] > 0;
-          excess_[rev.head] -= fwd.residual;
-          excess_[fwd.head] += fwd.residual;
-          rev.residual += fwd.residual;
-          fwd.residual = 0;
-          if (!dst_was_active && excess_[fwd.head] > 0) {
-            enqueue_active(fwd.head);
-          }
-          if (wave && src_was_active && excess_[rev.head] <= 0 && rev.head != discharging) {
-            --active_count;  // drained without a discharge
-          }
+          saturate_restored(ref);
           repaired = true;
         }
+        (void)residual;
       }
     }
     fixed_.clear();
     return repaired;
   };
 
+  // Persistent phase end: repair only the entries the phase relabeled past
+  // their fixing bar (restore + saturate + drop); compliant entries stay
+  // hidden for the next phase — and, via the SolveView re-arm, the next
+  // round. Reports whether any repair created excess to re-drain.
+  auto repair_keep_fixed = [&]() -> bool {
+    bool repaired = false;
+    size_t kept = 0;
+    for (const auto& [ref, hidden] : fixed_) {
+      ResidualEntry& fwd = star_[ref];
+      const ResidualEntry& rev = star_[ref ^ 1u];
+      int64_t c_pi = fwd.cost - pi_[rev.head] + pi_[fwd.head];
+      if (c_pi < -eps) {
+        fwd.residual += hidden;
+        saturate_restored(ref);
+        repaired = true;
+      } else {
+        fixed_[kept++] = {ref, hidden};
+      }
+    }
+    fixed_.resize(kept);
+    return repaired;
+  };
+
   if (price_update_first && options_.global_price_update &&
-      (wave ? active_count > 0 : !fifo.empty())) {
+      (wave ? !wave_heap_.empty() : !fifo.empty())) {
     GlobalPriceUpdate(view, eps);
   }
 
@@ -562,16 +659,15 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
     // next push until a relabel re-scans the full adjacency and repositions
     // the pointer at the new minimum — ε-optimality never depends on the
     // pointer, and skipping n resets (plus the rescans they cause) is a
-    // measured win on large graphs.
-    order_dirty = true;
+    // measured win on large graphs. Wave-heap keys repriced by the update
+    // go stale in place; keys only under-estimate (π never falls), so the
+    // popped order stays a valid upstream-first approximation.
   };
 
   // Fully discharges v: pushes excess along admissible arcs, relabeling when
-  // the current-arc pointer runs off the end. Sets *relabeled so wave mode
-  // can restore its topological order.
+  // the current-arc pointer runs off the end.
   const uint32_t* const adj = view.adj();
-  auto discharge = [&](uint32_t v, bool* relabeled) -> RefineResult {
-    discharging = v;
+  auto discharge = [&](uint32_t v) -> RefineResult {
     while (excess_[v] > 0) {
       const uint32_t v_adj_end = view.adj_end(v);
       bool pushed_or_relabeled = false;
@@ -652,7 +748,6 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
         if (iteration_budget != 0 && stats->iterations - start_iterations > iteration_budget) {
           return RefineResult::kBudget;
         }
-        *relabeled = true;
         pushed_or_relabeled = true;
         ++relabels_since_update;
         if (options_.global_price_update && relabel_count_[v] % kRelabelStormPeriod == 0 &&
@@ -665,20 +760,17 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
       }
       CHECK(pushed_or_relabeled);
     }
-    if (wave) {
-      --active_count;
-    }
     return RefineResult::kOk;
   };
 
   // A discharge that runs dry behind hidden arcs is not proof of
   // infeasibility: restore (with repair, so no violation can outlive the
   // phase) and retry before propagating kNoPath.
-  auto discharge_with_unfix = [&](uint32_t v, bool* relabeled) -> RefineResult {
-    RefineResult result = discharge(v, relabeled);
+  auto discharge_with_unfix = [&](uint32_t v) -> RefineResult {
+    RefineResult result = discharge(v);
     if (result == RefineResult::kNoPath && !fixed_.empty()) {
       restore_fixed(/*repair=*/true);
-      result = discharge(v, relabeled);
+      result = discharge(v);
     }
     return result;
   };
@@ -689,52 +781,23 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
   // phase) until the phase ends clean.
   for (;;) {
     if (wave) {
-      // Wave ordering: every node sits in an intrusive doubly-linked list
-      // that approximates a topological order of the admissible network.
-      // Sweeping front-to-back discharges upstream nodes before the nodes
-      // their excess lands on, so one pass moves excess many hops towards
-      // the deficits. A relabeled node's admissible in-arcs vanish, so
-      // moving it to the front restores the order without any priority
-      // queue.
-      const uint32_t sentinel = n;
-      list_next_.resize(n + 1);
-      list_prev_.resize(n + 1);
-      list_next_[sentinel] = n == 0 ? sentinel : 0;
-      list_prev_[sentinel] = n == 0 ? sentinel : n - 1;
-      for (uint32_t v = 0; v < n; ++v) {
-        list_next_[v] = v + 1 == n ? sentinel : v + 1;
-        list_prev_[v] = v == 0 ? sentinel : v - 1;
-      }
-      auto move_to_front = [&](uint32_t v) {
-        if (list_prev_[v] == sentinel) {
-          return;
+      // Wave ordering: pop the active node in the highest π/ε bucket.
+      // Entries are lazy: drained nodes are skipped. Keys can only be
+      // *under*-estimates (π rises monotonically within a refine), so a
+      // popped entry whose node was repriced since the push is still the
+      // best-known candidate — discharging it immediately keeps the sweep
+      // upstream-first without any re-keying churn.
+      while (!wave_heap_.empty()) {
+        uint32_t v = wave_heap_.front().second;
+        std::pop_heap(wave_heap_.begin(), wave_heap_.end());
+        wave_heap_.pop_back();
+        if (excess_[v] <= 0) {
+          continue;  // drained while queued
         }
-        list_next_[list_prev_[v]] = list_next_[v];
-        list_prev_[list_next_[v]] = list_prev_[v];
-        list_next_[v] = list_next_[sentinel];
-        list_prev_[list_next_[sentinel]] = v;
-        list_next_[sentinel] = v;
-        list_prev_[v] = sentinel;
-      };
-      while (active_count > 0) {
-        order_dirty = false;
-        for (uint32_t v = list_next_[sentinel]; v != sentinel && active_count > 0;) {
-          uint32_t next = list_next_[v];
-          if (excess_[v] > 0) {
-            bool relabeled = false;
-            RefineResult result = discharge_with_unfix(v, &relabeled);
-            if (result != RefineResult::kOk) {
-              restore_fixed(/*repair=*/false);
-              return result;
-            }
-            if (relabeled) {
-              move_to_front(v);
-            }
-            if (order_dirty) {
-              break;  // a global update repriced everything; restart the sweep
-            }
-          }
-          v = next;
+        RefineResult result = discharge_with_unfix(v);
+        if (result != RefineResult::kOk) {
+          restore_fixed(/*repair=*/false);
+          return result;
         }
       }
     } else {
@@ -742,8 +805,7 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
         uint32_t v = fifo.front();
         fifo.pop_front();
         in_queue_[v] = false;
-        bool relabeled = false;
-        RefineResult result = discharge_with_unfix(v, &relabeled);
+        RefineResult result = discharge_with_unfix(v);
         if (result != RefineResult::kOk) {
           restore_fixed(/*repair=*/false);
           return result;
@@ -753,8 +815,12 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
     if (fixed_.empty()) {
       break;
     }
-    discharging = n;  // between discharges: repair owns every drain
-    if (!restore_fixed(/*repair=*/true)) {
+    // Persistent mode keeps compliant entries hidden across the phase
+    // boundary (the next phase validates them against its own bar);
+    // otherwise restore-and-repair everything as before.
+    bool repaired =
+        options_.arc_fix_persist ? repair_keep_fixed() : restore_fixed(/*repair=*/true);
+    if (!repaired) {
       break;  // nothing violated its fixing bar; the phase is clean
     }
     // Repair saturations enqueued fresh excess; drain it too.

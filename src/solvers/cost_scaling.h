@@ -19,15 +19,20 @@
 //    draining the active set), a Dial-bucket shortest-path pass from the
 //    deficit nodes reprices every node at once, replacing thousands of
 //    one-ε relabels with one O(m) sweep.
-//  * Wave ordering: discharges sweep an intrusive node list kept in
-//    (approximate) topological order of the admissible network — relabeled
-//    nodes move to the front — so one pass carries excess many hops towards
-//    the deficits, instead of FIFO ping-pong.
+//  * Wave ordering: active nodes are discharged in descending π/ε bucket
+//    order (a lazy max-heap keyed by floor(π/ε)), an approximation of the
+//    admissible network's topological order — admissible arcs run from
+//    higher towards lower potential — so one wave carries excess many hops
+//    towards the deficits instead of FIFO ping-pong. Relabels raise a
+//    node's bucket, naturally resorting it; stale heap entries are dropped
+//    (or re-keyed after a global price update) on pop.
 
 #ifndef SRC_SOLVERS_COST_SCALING_H_
 #define SRC_SOLVERS_COST_SCALING_H_
 
 #include <cstdint>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/flow/flow_network_view.h"
@@ -48,10 +53,10 @@ struct CostScalingOptions {
   uint64_t time_budget_us = 0;
   // Goldberg heuristics [17] (exposed for ablation). The global price
   // update is a measured win on contended/large graphs and ~free elsewhere,
-  // so it defaults on. Wave ordering (sweep in approximate topological
-  // order) reduces push/relabel counts a little but its per-pass list scans
-  // cost more than they save on the shallow scheduling DAGs Firmament
-  // produces — FIFO discharge is the measured default.
+  // so it defaults on. Wave ordering (discharge in descending π/ε buckets)
+  // reduces push/relabel counts but pays a heap log-factor per activation;
+  // on the shallow scheduling DAGs Firmament produces FIFO discharge
+  // remains the measured default (see the fig12 ablation).
   bool global_price_update = true;
   bool wave_ordering = false;
   // Speculative arc fixing with repair (the ROADMAP follow-up to [17]):
@@ -59,15 +64,24 @@ struct CostScalingOptions {
   // exceeds 3nε (the per-refine potential-movement bound, so admissibility
   // provably cannot reach them within the phase) are excluded from the
   // residual star — their forward residual is hidden, so discharge/relabel
-  // scans skip them before touching pi_[head]. At phase end the hidden
-  // residuals are restored; repair-by-saturation plus a re-drain covers the
-  // bound ever being beaten in practice. Measured iteration-neutral and
-  // wall-time-neutral (±5%) on fig03/fig11 scheduling graphs — like
-  // wave_ordering it stays off by default, kept for ablation and for
-  // workloads with heavier cost spreads. (A tighter bar, e.g. 48ε, is
-  // measurably *harmful*: single relabels jump past it and every repair
-  // re-drain inflates the push/relabel count ~30-80%.)
+  // scans skip them before touching pi_[head]. Repair-by-saturation plus a
+  // re-drain covers the bound ever being beaten in practice. Measured
+  // iteration-neutral and wall-time-neutral (±5%) on fig03/fig11
+  // scheduling graphs — like wave_ordering it stays off by default, kept
+  // for ablation and for workloads with heavier cost spreads. (A tighter
+  // bar, e.g. 48ε, is measurably *harmful*: single relabels jump past it
+  // and every repair re-drain inflates the push/relabel count ~30-80%.)
   bool arc_fixing = false;
+  // Persist the fixed set across phases and across warm-started rounds
+  // instead of restoring + re-deriving it at every phase boundary: at each
+  // phase start surviving entries are only *validated* against the new 3nε
+  // bar, and at each warm Solve() the set is re-armed on the patched view
+  // after unfixing exactly the arcs the round's GraphChange journal touched
+  // (cost/capacity deltas, tombstones — FlowNetworkView::touched_arcs()),
+  // the arcs the previous winner's flow uses, and everything whenever the
+  // view fell off the patch path (rebuild renumbers the dense space). OFF
+  // restores the per-phase derive/restore cycle for ablation.
+  bool arc_fix_persist = true;
 };
 
 class CostScaling : public McmfSolver {
@@ -90,6 +104,12 @@ class CostScaling : public McmfSolver {
   // Drops all retained state; the next Solve() runs from scratch even in
   // incremental mode.
   void ResetState();
+
+  // The retained fixed set (dense forward refs into the solver's view, with
+  // the hidden residual amounts). Exposed for the journal-unfix regression
+  // test, which mutates arcs known to be in the set and asserts they are
+  // dropped at the next re-arm.
+  const std::vector<std::pair<uint32_t, int64_t>>& fixed_arcs() const { return fixed_; }
 
  private:
   enum class RefineResult : uint8_t {
@@ -129,16 +149,20 @@ class CostScaling : public McmfSolver {
   std::vector<uint32_t> cur_arc_;
   std::vector<uint32_t> relabel_count_;
   std::vector<bool> in_queue_;
-  // Wave-ordering list: node v's neighbours in the sweep order; slot
-  // num_nodes is the sentinel head.
-  std::vector<uint32_t> list_next_;
-  std::vector<uint32_t> list_prev_;
+  // Wave-ordering heap: (π/ε bucket, node) max-heap of active nodes with
+  // lazy staleness handling (drained entries skipped, repriced entries
+  // re-keyed on pop).
+  std::vector<std::pair<int64_t, uint32_t>> wave_heap_;
   // Global price update scratch.
   std::vector<uint32_t> dist_;
   std::vector<std::vector<uint32_t>> buckets_;
-  // Arc fixing: (forward ref, hidden residual) pairs for the current refine
-  // phase; always drained (restored) before Refine returns.
+  // Arc fixing: (forward ref, hidden residual) pairs. With arc_fix_persist
+  // the set survives phase boundaries and — via the re-arm step in
+  // SolveView, which unfixes journal-touched arcs — warm-started rounds;
+  // error paths always drain (restore) it. Without persistence it is
+  // restored at every phase end as before.
   std::vector<std::pair<uint32_t, int64_t>> fixed_;
+  std::unordered_set<uint32_t> touched_scratch_;  // re-arm journal filter
 };
 
 }  // namespace firmament

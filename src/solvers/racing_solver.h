@@ -47,6 +47,11 @@ struct RacingSolverOptions {
   // §6.2 price refine at the relaxation -> cost scaling handoff (Fig. 13
   // ablates this).
   bool price_refine_on_handoff = true;
+  // Speculative arc fixing for the cost-scaling leg (see
+  // CostScalingOptions::{arc_fixing, arc_fix_persist}); exposed here so
+  // scheduler-level benches can ablate the persistent variant.
+  bool cost_scaling_arc_fixing = false;
+  bool cost_scaling_arc_fix_persist = true;
 };
 
 struct RoundStats {

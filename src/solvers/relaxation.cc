@@ -28,18 +28,21 @@ void Relaxation::AddToS(const FlowNetworkView& view, uint32_t node) {
   e_s_ += excess_[node];
   // Append this node's balanced out-arcs to the frontier. With arc
   // prioritization (§5.3.1), arcs towards demand nodes go to the front so
-  // the traversal dives towards deficits depth-first.
+  // the traversal dives towards deficits depth-first. Within the node's own
+  // adjacency the ref's tail IS `node`, so the reduced cost needs no
+  // RefSrc load.
+  const int64_t pi_node = pi_[node];
   const uint32_t* end = view.AdjEnd(node);
   for (const uint32_t* it = view.AdjBegin(node); it != end; ++it) {
     uint32_t ref = *it;
-    if (view.RefResidual(ref) <= 0 || ReducedCostOf(view, ref) != 0) {
+    int64_t residual = view.RefResidual(ref);
+    if (residual <= 0) {
       continue;
     }
     uint32_t head = view.RefDst(ref);
-    if (InS(head)) {
+    if (view.RefCost(ref) - pi_node + pi_[head] != 0 || InS(head)) {
       continue;
     }
-    int64_t residual = view.RefResidual(ref);
     balance_out_ += residual;
     if (options_.arc_prioritization && excess_[head] < 0) {
       frontier_.push_front({ref, residual});
@@ -57,6 +60,11 @@ bool Relaxation::Ascend(FlowNetworkView* view_ptr, SolveStats* stats) {
   // reduced cost.
   int64_t theta = std::numeric_limits<int64_t>::max();
   for (uint32_t v : s_nodes_) {
+    // Head-first probing: most arcs of a large scanned set lead back into
+    // S, so the InS check prunes them after a single dst/src load, before
+    // the flow/capacity loads the residual needs. The ref's tail is v, so
+    // the reduced cost needs no RefSrc load either.
+    const int64_t pi_v = pi_[v];
     const uint32_t* end = view.AdjEnd(v);
     for (const uint32_t* it = view.AdjBegin(v); it != end; ++it) {
       uint32_t ref = *it;
@@ -68,7 +76,7 @@ bool Relaxation::Ascend(FlowNetworkView* view_ptr, SolveStats* stats) {
       if (residual <= 0) {
         continue;
       }
-      int64_t reduced = ReducedCostOf(view, ref);
+      int64_t reduced = view.RefCost(ref) - pi_v + pi_[head];
       if (reduced == 0) {
         view.RefPush(ref, residual);
         UpdateExcess(v, -residual);
@@ -127,7 +135,6 @@ SolveStats Relaxation::SolveView(const FlowNetwork& network, const std::atomic<b
   if (options_.incremental) {
     view.GatherPotentials(potential_, &pi_);
   } else {
-    view.ClearFlow();
     pi_.assign(n, 0);
   }
 
@@ -139,23 +146,34 @@ SolveStats Relaxation::SolveView(const FlowNetwork& network, const std::atomic<b
     out->runtime_us = timer.ElapsedMicros();
   };
 
-  // Restore complementary slackness w.r.t. the starting potentials: clamp
-  // the flow on every arc whose reduced cost sign disagrees with it. From
-  // scratch (pi = 0) this saturates negative-cost arcs only.
-  for (uint32_t a = 0; a < view.num_arcs(); ++a) {
-    if (view.Flow(a) > view.Capacity(a)) {
-      view.SetFlow(a, view.Capacity(a));  // capacity shrank under warm start
-    }
-    int64_t c_pi = view.Cost(a) - pi_[view.Src(a)] + pi_[view.Dst(a)];
-    if (c_pi < 0) {
-      view.SetFlow(a, view.Capacity(a));
-    } else if (c_pi > 0) {
-      view.SetFlow(a, 0);
-    }
+  // One fused arc pass: restore complementary slackness w.r.t. the starting
+  // potentials — clamp the flow on every arc whose reduced cost sign
+  // disagrees with it; from scratch (pi = 0) that saturates negative-cost
+  // arcs and empties the rest, so no up-front ClearFlow is needed — and
+  // accumulate node excesses while at it, folding what used to be three
+  // O(m) passes (ClearFlow, clamp, ComputeExcess) into one.
+  excess_.assign(n, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    excess_[v] = view.Supply(v);
   }
-
-  // Excesses (one SoA sweep).
-  view.ComputeExcess(&excess_);
+  const bool warm_flow = options_.incremental;
+  for (uint32_t a = 0; a < view.num_arcs(); ++a) {
+    uint32_t src = view.Src(a);
+    uint32_t dst = view.Dst(a);
+    int64_t capacity = view.Capacity(a);
+    // Warm starts keep the carried flow (clamped if capacity shrank);
+    // from-scratch solves start empty.
+    int64_t flow = warm_flow ? std::min(view.Flow(a), capacity) : 0;
+    int64_t c_pi = view.Cost(a) - pi_[src] + pi_[dst];
+    if (c_pi < 0) {
+      flow = capacity;
+    } else if (c_pi > 0) {
+      flow = 0;
+    }
+    view.SetFlow(a, flow);
+    excess_[src] -= flow;
+    excess_[dst] += flow;
+  }
   total_positive_excess_ = 0;
   positive_queue_.clear();
   for (uint32_t v = 0; v < n; ++v) {

@@ -17,6 +17,22 @@
 // Each Solve() runs on a FlowNetworkView (dense CSR snapshot) and installs
 // the resulting flow back into the FlowNetwork. Retained potentials are
 // keyed by original NodeId so incremental warm starts survive renumbering.
+// Setup folds complementary-slackness clamping and excess accumulation
+// into a single O(m) pass (previously ClearFlow + clamp + ComputeExcess).
+//
+// NOTE on the packed residual star: porting these scan loops onto the 32B
+// ResidualEntry star (the layout cost scaling's refine loops run on) was
+// implemented and measured SLOWER on scheduling graphs in every regime —
+// uncontended solves finish in ~2 probes per arc, so the O(m) star
+// materialization plus its write traffic exceeded the whole solve (~1.8x
+// on from-scratch 850-machine rounds), and contended solves' scans are
+// skip-heavy (most probed arcs are saturated or lead back into S), where a
+// skipped probe costs a full 64B star line against ~16B of selective SoA
+// loads (~35-40% on the Fig. 12a shape, at identical augmentation/ascent
+// counts). An adaptive mid-solve switch lost as well: merely instantiating
+// the second probe mode regressed the SoA path's codegen. The star stays
+// cost scaling's tool; relaxation scans the SoA arrays, head-first so
+// in-S arcs are pruned after a single load.
 
 #ifndef SRC_SOLVERS_RELAXATION_H_
 #define SRC_SOLVERS_RELAXATION_H_

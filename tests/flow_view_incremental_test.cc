@@ -423,6 +423,113 @@ TEST_P(WaveFixingTest, WaveOrderingPlusArcFixingStaysExact) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WaveFixingTest, ::testing::Range<uint64_t>(0, 6));
 
+// Journal-driven unfix regression for persistent arc fixing: across
+// warm-started rounds the fixed set survives in the solver, and the re-arm
+// step must unfix every arc the round's GraphChange journal touched. The
+// churn below specifically drops the cost of empty, expensive arcs — the
+// exact population arc fixing hides — making them the new optimal routes; a
+// stale fixed arc would leave incremental cost scaling blind to the cheap
+// route and its cost above the three reference solvers'. Optimality is also
+// re-certified against the full network (hidden arcs included) each round.
+TEST(FlowViewIncrementalTest, PersistentArcFixingUnfixesJournalTouchedArcs) {
+  SchedulingGraphSpec spec;
+  spec.seed = 4242;
+  spec.num_tasks = 150;
+  spec.num_machines = 25;
+  spec.max_cost = 20'000;
+  FlowNetwork net = MakeSchedulingGraph(spec);
+  net.EnableChangeRecording(true);
+  Rng rng(5);
+
+  CostScalingOptions cs_options;
+  cs_options.incremental = true;
+  cs_options.arc_fixing = true;
+  cs_options.arc_fix_persist = true;
+  CostScaling cost_scaling(cs_options);
+  CycleCanceling cycle_canceling;
+  SuccessiveShortestPath ssp;
+  Relaxation relaxation;
+  McmfSolver* references[] = {&cycle_canceling, &ssp, &relaxation};
+
+  uint64_t rounds_with_fixing = 0;
+  size_t mutated_fixed_arcs = 0;  // fixed-set arcs whose cost we dropped last round
+  for (int round = 0; round < 10; ++round) {
+    SolveStats stats = cost_scaling.Solve(&net);
+    ASSERT_EQ(stats.outcome, SolveOutcome::kOptimal) << "round " << round;
+    if (round > 0) {
+      EXPECT_EQ(stats.view_prep, FlowNetworkView::PrepareResult::kPatched)
+          << "cost-delta churn must stay on the patch path, round " << round;
+    }
+    // The unfix contract, asserted directly: every retained entry whose arc
+    // the journal touched must have been dropped at this round's re-arm.
+    // (The per-phase bar validation would eventually repair a stale entry
+    // too, so the cost cross-check alone cannot distinguish — this counter
+    // can.)
+    EXPECT_GE(stats.arcs_unfixed, mutated_fixed_arcs) << "round " << round;
+    rounds_with_fixing += stats.arcs_fixed > 0 ? 1 : 0;
+    CheckResult check = CheckOptimality(net);
+    EXPECT_TRUE(check.ok()) << "round " << round << ": " << check.message;
+    for (McmfSolver* solver : references) {
+      // Cross-check on a copy so the canonical journal keeps feeding the
+      // persistent-fixing solver's patch path.
+      FlowNetwork copy = net;
+      SolveStats other = solver->Solve(&copy);
+      ASSERT_EQ(other.outcome, SolveOutcome::kOptimal)
+          << solver->name() << " round " << round;
+      EXPECT_EQ(other.total_cost, stats.total_cost) << solver->name() << " round " << round;
+    }
+
+    // Cost/capacity churn between rounds, recorded in the journal. Dropping
+    // empty expensive task arcs to ~free is the adversarial case: those are
+    // precisely the arcs the previous round fixed.
+    std::vector<ArcId> arcs;
+    for (NodeId node : net.ValidNodes()) {
+      for (ArcRef ref : net.Adjacency(node)) {
+        if (!FlowNetwork::RefIsReverse(ref)) {
+          arcs.push_back(FlowNetwork::RefArc(ref));
+        }
+      }
+    }
+    int dropped = 0;
+    for (int attempt = 0; attempt < 400 && dropped < 6; ++attempt) {
+      ArcId arc = arcs[rng.NextUint64(arcs.size())];
+      if (net.Flow(arc) == 0 && net.Cost(arc) > spec.max_cost / 2 &&
+          net.Kind(net.Src(arc)) == NodeKind::kTask) {
+        net.SetArcCost(arc, rng.NextInt(0, 5));
+        ++dropped;
+      }
+    }
+    EXPECT_GT(dropped, 0) << "round " << round;
+    // Additionally mutate arcs KNOWN to be in the retained fixed set: these
+    // must show up in next round's arcs_unfixed counter.
+    mutated_fixed_arcs = 0;
+    const auto& fixed = cost_scaling.fixed_arcs();
+    for (size_t i = 0; i < fixed.size() && mutated_fixed_arcs < 3; ++i) {
+      uint32_t dense = FlowNetworkView::RefArc(fixed[i].first);
+      ArcId orig = cost_scaling.view().OrigArc(dense);
+      if (orig != kInvalidArcId && net.IsValidArc(orig)) {
+        net.SetArcCost(orig, rng.NextInt(0, 5));
+        ++mutated_fixed_arcs;
+      }
+    }
+    for (int i = 0; i < 4; ++i) {
+      ArcId arc = arcs[rng.NextUint64(arcs.size())];
+      net.SetArcCost(arc, rng.NextInt(0, spec.max_cost));
+    }
+    for (int i = 0; i < 2; ++i) {
+      ArcId arc = arcs[rng.NextUint64(arcs.size())];
+      if (net.Kind(net.Src(arc)) == NodeKind::kMachine) {
+        net.SetArcCapacity(arc,
+                           std::max<int64_t>(net.Flow(arc), net.Capacity(arc) +
+                                                                rng.NextInt(-1, 1)));
+      }
+    }
+  }
+  // The heuristic must have actually engaged, or the unfix path was never
+  // under test.
+  EXPECT_GT(rounds_with_fixing, 0u);
+}
+
 // Mutating a network while recording is disabled must invalidate the patch
 // path (version bookkeeping detects the incomplete journal) instead of
 // silently producing a stale view.

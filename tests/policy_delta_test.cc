@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -149,7 +150,11 @@ void ExpectDeltaMatchesFullRefresh(Policy kind, ClusterState& cluster, const Blo
 }
 
 // Shared fuzz driver: random workload + machine churn, delta graph checked
-// against a full rebuild every round.
+// against a full rebuild every round. A pool of shared input profiles makes
+// a fraction of submissions *identical bursts* — same blocks, same size,
+// same bandwidth bucket across jobs and rounds — the shape the cross-round
+// equivalence-class cache serves without recomputation and therefore the
+// one where a stale entry would diverge from the full-refresh reference.
 void FuzzDeltaEquivalence(Policy kind, uint64_t seed, int rounds) {
   ClusterState cluster;
   std::unique_ptr<BlockStore> store;
@@ -168,6 +173,13 @@ void FuzzDeltaEquivalence(Policy kind, uint64_t seed, int rounds) {
     }
   }
 
+  struct SharedProfile {
+    int64_t bytes = 0;
+    std::vector<uint64_t> blocks;
+    int64_t bandwidth_mbps = 0;
+  };
+  std::vector<SharedProfile> shared_profiles;
+
   SimTime now = 0;
   for (int round = 0; round < rounds; ++round) {
     now += static_cast<SimTime>(rng.NextInt(300, 1'700)) * 1'000;  // 0.3-1.7 s
@@ -176,12 +188,33 @@ void FuzzDeltaEquivalence(Policy kind, uint64_t seed, int rounds) {
     if (rng.NextBool(0.7)) {
       int job_size = static_cast<int>(rng.NextInt(1, 5));
       std::vector<TaskDescriptor> tasks(static_cast<size_t>(job_size));
-      for (TaskDescriptor& task : tasks) {
-        task.runtime = static_cast<SimTime>(rng.NextInt(5, 50)) * kSec;
-        task.bandwidth_request_mbps = rng.NextInt(50, 500);
-        if (store != nullptr && rng.NextBool(0.8)) {
-          task.input_size_bytes = rng.NextInt(200'000'000, 2'000'000'000);
-          task.input_blocks = store->AllocateInput(task.input_size_bytes);
+      if (rng.NextBool(0.4)) {
+        // Identical burst from the shared pool (created lazily).
+        if (shared_profiles.size() < 3 || rng.NextBool(0.2)) {
+          SharedProfile profile;
+          profile.bandwidth_mbps = rng.NextInt(50, 500);
+          if (store != nullptr) {
+            profile.bytes = rng.NextInt(200'000'000, 2'000'000'000);
+            profile.blocks = store->AllocateInput(profile.bytes);
+          }
+          shared_profiles.push_back(std::move(profile));
+        }
+        const SharedProfile& profile =
+            shared_profiles[rng.NextUint64(shared_profiles.size())];
+        for (TaskDescriptor& task : tasks) {
+          task.runtime = static_cast<SimTime>(rng.NextInt(5, 50)) * kSec;
+          task.bandwidth_request_mbps = profile.bandwidth_mbps;
+          task.input_size_bytes = profile.bytes;
+          task.input_blocks = profile.blocks;
+        }
+      } else {
+        for (TaskDescriptor& task : tasks) {
+          task.runtime = static_cast<SimTime>(rng.NextInt(5, 50)) * kSec;
+          task.bandwidth_request_mbps = rng.NextInt(50, 500);
+          if (store != nullptr && rng.NextBool(0.8)) {
+            task.input_size_bytes = rng.NextInt(200'000'000, 2'000'000'000);
+            task.input_blocks = store->AllocateInput(task.input_size_bytes);
+          }
         }
       }
       JobType type = rng.NextBool(0.2) ? JobType::kService : JobType::kBatch;
@@ -333,6 +366,224 @@ TEST(PolicyDeltaTest, RequestAggregatorDrainsWithLastTask) {
   scheduler.RunSchedulingRound(3 * kSec);
   EXPECT_FALSE(scheduler.graph_manager().HasAggregator("ra:200"));
   scheduler.graph_manager().ValidateIntegrity();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-round class cache + block -> task reverse index
+// ---------------------------------------------------------------------------
+
+// A Quincy machine removal must dirty only the tasks whose preference arcs
+// touch the removed machine's blocks (block -> task reverse index), not the
+// whole task set — and the resulting delta graph must still match a
+// from-scratch full refresh.
+TEST(PolicyDeltaTest, QuincyMachineRemovalDirtiesOnlyAffectedTasks) {
+  ClusterState cluster;
+  BlockStore store(&cluster, 7);
+  QuincyPolicy policy(&cluster, &store);
+  FirmamentScheduler scheduler(&cluster, &policy);
+  std::vector<RackId> racks;
+  for (int r = 0; r < 4; ++r) {
+    racks.push_back(cluster.AddRack());
+    for (int m = 0; m < 6; ++m) {
+      scheduler.AddMachine(racks.back(), MachineSpec{.slots = 4});
+    }
+  }
+  Rng rng(13);
+  SimTime now = 0;
+  for (int j = 0; j < 20; ++j) {
+    std::vector<TaskDescriptor> tasks(3);
+    for (TaskDescriptor& task : tasks) {
+      task.runtime = 1'000 * kSec;
+      task.input_size_bytes = rng.NextInt(400'000'000, 900'000'000);
+      task.input_blocks = store.AllocateInput(task.input_size_bytes);
+    }
+    scheduler.SubmitJob(JobType::kBatch, 0, std::move(tasks), now);
+  }
+  scheduler.RunSchedulingRound(now += kSec);
+  scheduler.RunSchedulingRound(now += kSec);  // settle placements
+  // Drain the settle round's own placement dirt so the removal's marks are
+  // the only thing the measured round refreshes.
+  scheduler.graph_manager().UpdateRound(now += kSec);
+
+  // Expected affected set: live tasks reading a block replicated on the
+  // victim (queried before the store drops the replicas), plus whatever was
+  // running there (evicted -> state-dirty).
+  MachineId victim = 5;
+  ASSERT_TRUE(cluster.machine(victim).alive);
+  std::vector<uint64_t> victim_blocks;
+  ASSERT_TRUE(store.BlocksOnMachine(victim, &victim_blocks));
+  std::set<uint64_t> on_victim(victim_blocks.begin(), victim_blocks.end());
+  std::set<TaskId> affected;
+  for (TaskId task : cluster.LiveTasks()) {
+    for (uint64_t block : cluster.task(task).input_blocks) {
+      if (on_victim.count(block) != 0) {
+        affected.insert(task);
+        break;
+      }
+    }
+  }
+  for (TaskId task : cluster.RunningTasksOn(victim)) {
+    affected.insert(task);  // evicted by the removal
+  }
+  size_t live = cluster.LiveTasks().size();
+  ASSERT_GT(live, affected.size()) << "test needs unaffected tasks to be meaningful";
+
+  scheduler.RemoveMachine(victim, now += kSec);
+  store.OnMachineRemoved(victim);
+  scheduler.graph_manager().UpdateRound(now);
+  scheduler.graph_manager().ValidateIntegrity();
+
+  const UpdateRoundStats& stats = scheduler.graph_manager().last_update_stats();
+  // The dirty-count gate: exactly the affected set is refreshed — never the
+  // whole task set (the legacy MarkAllTasks behaviour).
+  EXPECT_EQ(stats.tasks_refreshed, affected.size());
+  EXPECT_LT(stats.tasks_refreshed, live);
+
+  ExpectDeltaMatchesFullRefresh(Policy::kQuincyWithLocality, cluster, &store,
+                                scheduler.graph_manager(), now, "after targeted removal");
+}
+
+// Repeated identical-job bursts must cost one EquivClassArcs call per class
+// *ever*: the first burst computes the entry, every later burst (and every
+// placement-driven refresh) rides the cross-round cache.
+TEST(PolicyDeltaTest, PersistentClassCacheServesIdenticalBursts) {
+  ClusterState cluster;
+  BlockStore store(&cluster, 11);
+  QuincyPolicy policy(&cluster, &store);
+  FirmamentScheduler scheduler(&cluster, &policy);
+  RackId rack = cluster.AddRack();
+  for (int m = 0; m < 8; ++m) {
+    scheduler.AddMachine(rack, MachineSpec{.slots = 16});
+  }
+  const int64_t bytes = 1'500'000'000;
+  std::vector<uint64_t> blocks = store.AllocateInput(bytes);
+
+  SimTime now = 0;
+  size_t total_misses = 0;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<TaskDescriptor> tasks(5);
+    for (TaskDescriptor& task : tasks) {
+      task.runtime = 1'000 * kSec;
+      task.input_size_bytes = bytes;
+      task.input_blocks = blocks;
+    }
+    scheduler.SubmitJob(JobType::kBatch, 0, std::move(tasks), now);
+    scheduler.RunSchedulingRound(now);
+    const UpdateRoundStats& stats = scheduler.graph_manager().last_update_stats();
+    EXPECT_GE(stats.tasks_refreshed, 5u) << "round " << round;
+    if (round > 0) {
+      EXPECT_EQ(stats.class_cache_misses, 0u) << "round " << round;
+      EXPECT_GE(stats.class_cache_hits, 5u) << "round " << round;
+    }
+    total_misses += stats.class_cache_misses;
+    now += kSec;
+  }
+  EXPECT_EQ(total_misses, 1u) << "identical bursts must share one policy call ever";
+
+  scheduler.graph_manager().UpdateRound(now);
+  ExpectDeltaMatchesFullRefresh(Policy::kQuincyWithLocality, cluster, &store,
+                                scheduler.graph_manager(), now, "after identical bursts");
+}
+
+// A class whose last live task completed must be evicted from the cache:
+// with no member left to carry invalidation marks, its inputs can drift —
+// here a machine removal drops replicas feeding its transfer costs — with
+// nobody watching, and an identical resubmission would otherwise reuse
+// pre-removal costs (caught by the delta-vs-full diff below).
+TEST(PolicyDeltaTest, DrainedClassIsEvictedAndRecomputedOnResubmit) {
+  ClusterState cluster;
+  BlockStore store(&cluster, 23);
+  QuincyPolicy policy(&cluster, &store);
+  FirmamentScheduler scheduler(&cluster, &policy);
+  std::vector<RackId> racks;
+  for (int r = 0; r < 2; ++r) {
+    racks.push_back(cluster.AddRack());
+    for (int m = 0; m < 4; ++m) {
+      scheduler.AddMachine(racks.back(), MachineSpec{.slots = 4});
+    }
+  }
+  const int64_t bytes = 1'200'000'000;
+  std::vector<uint64_t> blocks = store.AllocateInput(bytes);
+  auto identical_job = [&](SimTime now) {
+    std::vector<TaskDescriptor> tasks(2);
+    for (TaskDescriptor& task : tasks) {
+      task.runtime = 1'000 * kSec;
+      task.input_size_bytes = bytes;
+      task.input_blocks = blocks;
+    }
+    return scheduler.SubmitJob(JobType::kBatch, 0, std::move(tasks), now);
+  };
+
+  SimTime now = 0;
+  JobId job = identical_job(now);
+  scheduler.RunSchedulingRound(now += kSec);
+  EXPECT_EQ(scheduler.graph_manager().class_cache_size(), 1u);
+
+  // Drain the class: both tasks complete -> the entry must be evicted.
+  for (TaskId task : cluster.job(job).tasks) {
+    scheduler.CompleteTask(task, now);
+  }
+  scheduler.RunSchedulingRound(now += kSec);
+  EXPECT_EQ(scheduler.graph_manager().class_cache_size(), 0u);
+
+  // Input drift while the class is unpopulated: drop a replica-holding
+  // machine (no live task references its blocks, so no mark fires).
+  std::vector<uint64_t> on_victim;
+  MachineId victim = 0;
+  for (; victim < 8; ++victim) {
+    on_victim.clear();
+    if (cluster.machine(victim).alive && store.BlocksOnMachine(victim, &on_victim) &&
+        !on_victim.empty()) {
+      break;
+    }
+  }
+  ASSERT_LT(victim, 8u) << "expected some machine to hold a replica";
+  scheduler.RemoveMachine(victim, now += kSec);
+  store.OnMachineRemoved(victim);
+  scheduler.RunSchedulingRound(now);
+
+  // Identical resubmission: must recompute against post-removal replicas.
+  identical_job(now += kSec);
+  scheduler.graph_manager().UpdateRound(now);
+  scheduler.graph_manager().ValidateIntegrity();
+  ExpectDeltaMatchesFullRefresh(Policy::kQuincyWithLocality, cluster, &store,
+                                scheduler.graph_manager(), now, "resubmit after drain+removal");
+}
+
+// The legacy per-round cache mode (persistent_class_cache = false) must
+// recompute the class every round yet produce the identical graph — the
+// fig11 bursty-submit bench relies on both halves of that statement.
+TEST(PolicyDeltaTest, PerRoundCacheModeStaysEquivalent) {
+  ClusterState cluster;
+  BlockStore store(&cluster, 17);
+  QuincyPolicy policy(&cluster, &store);
+  FirmamentSchedulerOptions options;
+  options.graph.persistent_class_cache = false;
+  FirmamentScheduler scheduler(&cluster, &policy, options);
+  RackId rack = cluster.AddRack();
+  for (int m = 0; m < 6; ++m) {
+    scheduler.AddMachine(rack, MachineSpec{.slots = 8});
+  }
+  const int64_t bytes = 900'000'000;
+  std::vector<uint64_t> blocks = store.AllocateInput(bytes);
+  SimTime now = 0;
+  size_t total_misses = 0;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<TaskDescriptor> tasks(4);
+    for (TaskDescriptor& task : tasks) {
+      task.runtime = 1'000 * kSec;
+      task.input_size_bytes = bytes;
+      task.input_blocks = blocks;
+    }
+    scheduler.SubmitJob(JobType::kBatch, 0, std::move(tasks), now);
+    scheduler.RunSchedulingRound(now);
+    total_misses += scheduler.graph_manager().last_update_stats().class_cache_misses;
+    now += kSec;
+  }
+  EXPECT_EQ(total_misses, 4u) << "per-round mode recomputes the class each round";
+  scheduler.graph_manager().UpdateRound(now);
+  ExpectDeltaMatchesFullRefresh(Policy::kQuincyWithLocality, cluster, &store,
+                                scheduler.graph_manager(), now, "per-round cache mode");
 }
 
 // ---------------------------------------------------------------------------

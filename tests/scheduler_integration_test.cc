@@ -168,13 +168,17 @@ TEST_P(FailureSweepTest, MachineFailuresRescheduleEverything) {
   EXPECT_EQ(stack->cluster.UsedSlots(), 20);
 
   // Fail three machines in sequence; capacity stays sufficient (7 x 4 = 28).
+  // Ordering contract (DataLocalityInterface::BlocksOnMachine): the
+  // scheduler removal — which runs the policy's OnMachineRemoved hook —
+  // must see the store's replicas still in place, so the store is told
+  // AFTER the scheduler.
   SimTime now = kSec;
   for (MachineId victim = 0; victim < 3; ++victim) {
     now += kSec;
+    stack->scheduler->RemoveMachine(victim, now);
     if (stack->store != nullptr) {
       stack->store->OnMachineRemoved(victim);
     }
-    stack->scheduler->RemoveMachine(victim, now);
     stack->scheduler->RunSchedulingRound(now + kSec / 2);
     VerifyInvariants(stack.get(), "failure sweep");
   }
