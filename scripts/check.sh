@@ -30,6 +30,17 @@ if [ "${FIRMAMENT_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DFIRMAMENT_SANITIZE=ON
   cmake --build build-asan -j "$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+  # Debug + TSan leg: the sharded graph-update pipeline runs the policies'
+  # compute hooks concurrently (policy_delta_test's 1/2/8-shard fuzz) and
+  # the racing solver races two algorithms on one const network plus a
+  # persistent worker (scheduler_integration_test). TSan is what proves the
+  # "pure reader" threading contract in scheduling_policy.h rather than
+  # trusting it.
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DFIRMAMENT_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)"
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'policy_delta_test|scheduler_integration_test'
 fi
 
 BASELINE_DIR="$(mktemp -d)"
@@ -145,6 +156,38 @@ echo "graph update (bursty identical submits): persistent-vs-per-round speedup=$
 if ! awk -v s="${burst_speedup:-0}" 'BEGIN { exit !(s >= 2.0) }'; then
   echo "bench-diff: cross-round class cache below acceptance (need >=2x vs per-round cache on bursts, confirmed over 2 runs)"
   FAILED=1
+fi
+
+# Acceptance guard for the sharded graph-update pipeline: at 10k machines
+# with a multi-ten-thousand-task submission burst of fresh equivalence
+# classes, the 8-shard compute/apply split must beat the serial delta path
+# by >= 2x. A parallel-speedup gate needs parallel hardware: armed at 2.0x
+# on runners with >= 8 CPUs, relaxed to 1.1x with 2-7 CPUs, and
+# reported-only on 1-CPU runners — there the number is the split's
+# coordination-overhead bound (~0.95-1.0), not a speedup. The per-shard
+# work counters in the JSON (arcs_generated_s*, cache_hits_s*) are
+# deterministic and diffable across boxes regardless.
+par_speedup="$(sed -n 's/.*"parallel_speedup": \([0-9.eE+-]*\).*/\1/p' BENCH_fig11_incremental.json | head -1)"
+cores="$(nproc)"
+echo "graph update (8-shard pipeline @10k machines): speedup=${par_speedup:-?}x on ${cores} cpu(s)"
+par_need=""
+if [ "$cores" -ge 8 ]; then
+  par_need=2.0
+elif [ "$cores" -ge 2 ]; then
+  par_need=1.1
+fi
+if [ -n "$par_need" ]; then
+  if ! awk -v s="${par_speedup:-0}" -v n="$par_need" 'BEGIN { exit !(s >= n) }'; then
+    echo "bench-diff: sharded graph update below acceptance (need >=${par_need}x at ${cores} cpus)"
+    FAILED=1
+  fi
+else
+  # Generous floor: 0.80-0.97 measured on this box depending on load; the
+  # check only catches pathological coordination overhead, not noise.
+  if ! awk -v s="${par_speedup:-0}" 'BEGIN { exit !(s >= 0.6) }'; then
+    echo "bench-diff: sharded pipeline overhead out of bounds on 1 cpu (need >=0.6x of serial)"
+    FAILED=1
+  fi
 fi
 
 # Acceptance guard for the Quincy block->task reverse index: a machine

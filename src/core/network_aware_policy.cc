@@ -96,9 +96,12 @@ void NetworkAwarePolicy::EquivClassArcs(const TaskDescriptor& representative, Si
                                         std::vector<ArcSpec>* out) {
   (void)now;
   int64_t bucket = BucketFor(representative.bandwidth_request_mbps);
-  // The representative is live, so its RA exists (OnTaskAdded created it).
-  NodeId ra = manager_->GetOrCreateAggregator(RequestKey(bucket));
-  aggregator_bucket_[ra] = bucket;
+  // The representative is live, so its RA exists (OnTaskAdded created it
+  // and registered it in aggregator_bucket_). Pure lookup only: this hook
+  // runs concurrently under the sharded update pipeline, so it must not
+  // create aggregators or touch the bucket map.
+  NodeId ra = manager_->FindAggregator(RequestKey(bucket));
+  DCHECK_NE(ra, kInvalidNodeId);
   out->push_back({ra, 1, 0, 0});
 }
 

@@ -291,13 +291,20 @@ void QuincyPolicy::EquivClassArcs(const TaskDescriptor& representative, SimTime 
     rack_costs.resize(static_cast<size_t>(params_.max_rack_preference_arcs));
   }
   for (const auto& [cost, rack] : rack_costs) {
-    if (manager_->HasAggregator(RackKey(rack))) {
-      out->push_back({manager_->GetOrCreateAggregator(RackKey(rack)), 1, cost, 0});
+    // Pure lookup (threading contract: this hook runs concurrently under
+    // the sharded update pipeline and must not create graph nodes).
+    NodeId rack_node = manager_->FindAggregator(RackKey(rack));
+    if (rack_node != kInvalidNodeId) {
+      out->push_back({rack_node, 1, cost, 0});
     }
   }
 }
 
 void QuincyPolicy::AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) {
+  // Runs concurrently under the sharded update pipeline: aggregator lookups
+  // must stay pure (FindAggregator), never creating. A non-empty rack always
+  // has its aggregator — OnMachineAdded creates it before any arc refresh
+  // and OnMachineRemoved drains it only with the last machine.
   if (aggregator == cluster_agg_) {
     // X fans out to every non-empty rack; costs are on task arcs (Quincy
     // prices the worst case on the task -> X arc).
@@ -310,14 +317,15 @@ void QuincyPolicy::AggregatorArcs(NodeId aggregator, std::vector<ArcSpec>* out) 
       for (MachineId machine : machines) {
         slots += cluster_->machine(machine).spec.slots;
       }
-      out->push_back({manager_->GetOrCreateAggregator(RackKey(rack)), slots, 0, 0});
+      NodeId rack_node = manager_->FindAggregator(RackKey(rack));
+      DCHECK_NE(rack_node, kInvalidNodeId);
+      out->push_back({rack_node, slots, 0, 0});
     }
     return;
   }
   // Rack aggregator: fan out to the rack's machines.
   for (RackId rack = 0; rack < cluster_->num_racks(); ++rack) {
-    if (!manager_->HasAggregator(RackKey(rack)) ||
-        manager_->GetOrCreateAggregator(RackKey(rack)) != aggregator) {
+    if (manager_->FindAggregator(RackKey(rack)) != aggregator) {
       continue;
     }
     for (MachineId machine : cluster_->MachinesInRack(rack)) {

@@ -541,21 +541,56 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
   uint64_t pushes_since_poll = 0;
   std::deque<uint32_t> fifo;   // FIFO mode
   in_queue_.assign(n, false);  // FIFO mode
-  wave_heap_.clear();          // wave mode
+  if (wave) {                  // wave mode: reset the bucket array
+    for (std::vector<uint32_t>& bucket : wave_buckets_) {
+      bucket.clear();
+    }
+    wave_size_ = 0;
+    wave_top_ = 0;
+  }
 
   // Wave ordering discharges the active node in the highest π/ε bucket
   // first: admissible arcs run from higher towards lower potential, so the
   // bucket order approximates a topological sweep of the admissible
   // network and excess travels many hops per wave. Entries are lazy — a
   // node drained before its pop is skipped — so nothing is deleted
-  // mid-heap.
+  // mid-bucket. v2: a flat bucket array keyed by floor(π/ε) replaces the
+  // comparison max-heap; push/pop are O(1). Keys below the current base
+  // (possible when a node that was inactive at phase start activates later
+  // at its old, low π) prepend buckets; π only rises within a refine, so
+  // such shifts are rare.
   auto wave_key = [&](uint32_t v) {
     int64_t p = pi_[v];
     return p >= 0 ? p / eps : -((-p + eps - 1) / eps);  // floor division
   };
+  // The array is capped: keys are clamped into [wave_base_, wave_base_ +
+  // kWaveBucketCap). Memory therefore stays O(active + cap) even when the
+  // key range is the whole potential landscape (warm-started ε = 1 phases,
+  // where floor(π/1) spans millions) — the regime that made an uncapped
+  // array, unlike the v1 heap, allocate proportional to the *range*.
+  // Clamping only coarsens the heuristic order (any discharge order is
+  // correct for push/relabel); within the cap the order matches v1's.
+  constexpr size_t kWaveBucketCap = 4096;
   auto wave_push = [&](uint32_t v) {
-    wave_heap_.emplace_back(wave_key(v), v);
-    std::push_heap(wave_heap_.begin(), wave_heap_.end());
+    const int64_t key = wave_key(v);
+    if (wave_size_ == 0) {
+      wave_base_ = key;
+      wave_top_ = 0;
+      if (wave_buckets_.empty()) {
+        wave_buckets_.resize(1);
+      }
+    }
+    const int64_t rel = key - wave_base_;
+    const size_t idx =
+        rel < 0 ? 0 : std::min<size_t>(static_cast<size_t>(rel), kWaveBucketCap - 1);
+    if (idx >= wave_buckets_.size()) {
+      wave_buckets_.resize(idx + 1);
+    }
+    wave_buckets_[idx].push_back(v);
+    if (idx > wave_top_) {
+      wave_top_ = idx;
+    }
+    ++wave_size_;
   };
 
   for (uint32_t v = 0; v < n; ++v) {
@@ -649,7 +684,7 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
   };
 
   if (price_update_first && options_.global_price_update &&
-      (wave ? !wave_heap_.empty() : !fifo.empty())) {
+      (wave ? wave_size_ > 0 : !fifo.empty())) {
     GlobalPriceUpdate(view, eps);
   }
 
@@ -787,10 +822,14 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
       // popped entry whose node was repriced since the push is still the
       // best-known candidate — discharging it immediately keeps the sweep
       // upstream-first without any re-keying churn.
-      while (!wave_heap_.empty()) {
-        uint32_t v = wave_heap_.front().second;
-        std::pop_heap(wave_heap_.begin(), wave_heap_.end());
-        wave_heap_.pop_back();
+      while (wave_size_ > 0) {
+        while (wave_buckets_[wave_top_].empty()) {
+          --wave_top_;  // wave_size_ > 0 guarantees a non-empty bucket below
+        }
+        std::vector<uint32_t>& bucket = wave_buckets_[wave_top_];
+        uint32_t v = bucket.back();
+        bucket.pop_back();
+        --wave_size_;
         if (excess_[v] <= 0) {
           continue;  // drained while queued
         }

@@ -149,10 +149,20 @@ class CostScaling : public McmfSolver {
   std::vector<uint32_t> cur_arc_;
   std::vector<uint32_t> relabel_count_;
   std::vector<bool> in_queue_;
-  // Wave-ordering heap: (π/ε bucket, node) max-heap of active nodes with
-  // lazy staleness handling (drained entries skipped, repriced entries
-  // re-keyed on pop).
-  std::vector<std::pair<int64_t, uint32_t>> wave_heap_;
+  // Wave-ordering bucket array (v2): active nodes grouped by π/ε bucket and
+  // discharged highest-bucket-first. Replaces the v1 comparison max-heap —
+  // push and pop are O(1) array ops instead of O(log n) sift/compare, which
+  // was the heap churn that made v1 lose wall time despite fewer
+  // push/relabel iterations. Entries are lazy exactly as before: a node
+  // drained before its pop is skipped, and stored keys only under-estimate
+  // (π rises monotonically within a refine), so the popped order remains a
+  // valid upstream-first approximation without re-keying. wave_base_ is the
+  // key of bucket 0 (keys can be negative); wave_top_ the scan pointer at
+  // the highest non-empty bucket; wave_size_ the live entry count.
+  std::vector<std::vector<uint32_t>> wave_buckets_;
+  int64_t wave_base_ = 0;
+  size_t wave_top_ = 0;
+  size_t wave_size_ = 0;
   // Global price update scratch.
   std::vector<uint32_t> dist_;
   std::vector<std::vector<uint32_t>> buckets_;

@@ -60,6 +60,11 @@ struct SolveStats {
   // round's journal touched them (cost/capacity delta, tombstone) or the
   // carried flow uses them — the journal-driven unfix path's audit counter.
   uint64_t arcs_unfixed = 0;
+  // Racing mode only: microseconds between handing the cost-scaling leg to
+  // the racing solver's persistent worker and the worker picking it up.
+  // With the former per-round std::thread this slot held a full thread
+  // spawn; with the pooled worker it is a condition-variable wakeup.
+  uint64_t dispatch_us = 0;
   // Whether the view holds a meaningful flow for this outcome (set by the
   // solver; consumed by Solve()'s writeback and the racing solver).
   bool flow_valid = false;

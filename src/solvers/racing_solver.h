@@ -22,9 +22,11 @@
 #define SRC_SOLVERS_RACING_SOLVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/base/thread_pool.h"
 #include "src/solvers/cost_scaling.h"
 #include "src/solvers/mcmf_solver.h"
 #include "src/solvers/relaxation.h"
@@ -81,6 +83,14 @@ class RacingSolver {
   // Drops warm state (e.g. when switching workloads in benchmarks).
   void ResetState();
 
+  // Threads ever spawned for the race's cost-scaling leg — a *monotonic*
+  // counter, so a regression back to per-round workers (recreating the
+  // pool each Solve) shows up as a number that grows with rounds, not as a
+  // constant 1. The persistent worker keeps it at 1 no matter how many
+  // rounds ran; 0 before the first race. Exposed for the spawn-free
+  // regression test.
+  size_t worker_spawns() const { return worker_spawns_; }
+
  private:
   SolveStats SolveRace(FlowNetwork* network);
 
@@ -88,6 +98,10 @@ class RacingSolver {
   Relaxation relaxation_;
   CostScaling cost_scaling_;
   RoundStats last_round_;
+  // Persistent worker for the cost-scaling leg of the race; created lazily
+  // on the first kRace round so single-algorithm modes never hold a thread.
+  std::unique_ptr<ThreadPool> worker_;
+  size_t worker_spawns_ = 0;
 };
 
 }  // namespace firmament
