@@ -354,6 +354,90 @@ void QuincyRemovalDirtyShare(benchmark::State& state) {
   state.counters["removal_graph_update_us"] = update_s.Mean() * 1e6;
 }
 
+// Failure-storm recovery (robustness): a rack-correlated storm takes down
+// 10% of the alive machines through failure reports that bypass the
+// scheduler (cluster-only removals — the mid-round divergence case), so the
+// next round's integrity pass must detect the cluster/graph split, evict the
+// orphaned tasks, and rebuild the graph from cluster state. Reported: the
+// recovery round's wall time, rounds until every displaced task runs again,
+// and the persistent class cache's hit rate before the storm vs during and
+// after re-placement (the rebuild drops the cache, which must then refill).
+void RecoveryStorm(benchmark::State& state) {
+  const int machines = 850;
+  FirmamentSchedulerOptions options;
+  options.solver.mode = SolverMode::kCostScalingOnly;
+  options.check_integrity = true;
+  bench::BenchEnv env(bench::PolicyKind::kQuincy, machines, 10, options);
+  SimTime now = env.FillToUtilization(0.6, 0);
+
+  Distribution recovery_wall_s;
+  Distribution replacement_rounds;
+  Distribution actions;
+  Distribution hits_before;
+  Distribution hits_storm_round;
+  Distribution hits_recovered;
+  auto hit_rate = [&]() {
+    const UpdateRoundStats& stats = env.manager().last_update_stats();
+    double total = static_cast<double>(stats.class_cache_hits + stats.class_cache_misses);
+    return total > 0 ? static_cast<double>(stats.class_cache_hits) / total : 1.0;
+  };
+  for (auto _ : state) {
+    // A churn round to observe the steady-state cache hit rate.
+    env.Churn(8, 8, now);
+    now += kMicrosPerSecond;
+    env.scheduler().RunSchedulingRound(now);
+    hits_before.Add(hit_rate());
+
+    // The storm: machine ids are rack-contiguous, so the id-order prefix of
+    // the alive set takes whole racks down together.
+    std::vector<MachineId> alive;
+    for (const MachineDescriptor& machine : env.cluster().machines()) {
+      if (machine.alive) {
+        alive.push_back(machine.id);
+      }
+    }
+    size_t quota = alive.size() / 10;
+    for (size_t i = 0; i < quota; ++i) {
+      env.cluster().RemoveMachine(alive[i]);
+      env.store()->OnMachineRemoved(alive[i]);
+    }
+
+    // The next round pays detect + orphan eviction + rebuild, then solves.
+    now += kMicrosPerSecond;
+    WallTimer recovery_timer;
+    SchedulerRoundResult storm_round = env.scheduler().RunSchedulingRound(now);
+    double recovery_s = static_cast<double>(recovery_timer.ElapsedMicros()) / 1e6;
+    recovery_wall_s.Add(recovery_s);
+    actions.Add(static_cast<double>(storm_round.recovery_actions.size()));
+    hits_storm_round.Add(hit_rate());
+
+    // Rounds until every displaced task is running again (full replacement).
+    int rounds = 1;  // the storm round already re-placed what it could
+    auto any_waiting = [&]() {
+      for (TaskId task : env.cluster().LiveTasks()) {
+        if (env.cluster().task(task).state == TaskState::kWaiting) {
+          return true;
+        }
+      }
+      return false;
+    };
+    while (any_waiting() && rounds < 20) {
+      now += kMicrosPerSecond;
+      env.scheduler().RunSchedulingRound(now);
+      ++rounds;
+    }
+    replacement_rounds.Add(rounds);
+    hits_recovered.Add(hit_rate());
+    state.SetIterationTime(recovery_s);
+  }
+  state.counters["recovery_round_s"] = recovery_wall_s.Mean();
+  state.counters["recovery_actions"] = actions.Mean();
+  state.counters["rounds_to_full_replacement"] = replacement_rounds.Mean();
+  state.counters["cache_hit_rate_before"] = hits_before.Mean();
+  state.counters["cache_hit_rate_storm_round"] = hits_storm_round.Mean();
+  state.counters["cache_hit_rate_recovered"] = hits_recovered.Mean();
+}
+
 }  // namespace
 }  // namespace firmament
 
@@ -408,6 +492,10 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("fig11/removal_dirty/850/quincy",
                                firmament::QuincyRemovalDirtyShare)
       ->Iterations(firmament::bench::Scaled(6, 12))
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("fig11/recovery_storm/850", firmament::RecoveryStorm)
+      ->Iterations(firmament::bench::Scaled(3, 5))
       ->UseManualTime()
       ->Unit(benchmark::kMillisecond);
   firmament::bench::RunBenchmarksWithJson("fig11_incremental");

@@ -20,6 +20,13 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+# Solve-budget gate: the fig03/1250 shape under a 1 ms budget must come back
+# kDegraded with the solver abandoning the round inside 2x the budget (the
+# strict wall bound only arms on this release binary; sanitizer legs run the
+# same test with functional assertions only).
+FIRMAMENT_BUDGET_GATE=1 ./build/scheduler_integration_test \
+  --gtest_filter='SolveBudgetTest.Fig03ShapeDegradesWithinTwiceBudget'
+
 # Debug + ASan/UBSan leg: the cross-round caches (class-arc cache, Quincy
 # block->task index, persistent fixed-arc set) carry state between rounds,
 # so lifetime bugs — stale cache entries, dangling refs into a renumbered
@@ -30,6 +37,17 @@ if [ "${FIRMAMENT_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DFIRMAMENT_SANITIZE=ON
   cmake --build build-asan -j "$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+  # Fault-fuzz leg: rack-correlated failure storms under all four policies
+  # (three seeds each, persistent class cache on, serial + sharded update
+  # paths) plus the seeded fault-injector simulation and the detect-and-
+  # rebuild recovery paths — every round must complete with zero aborts
+  # under ASan, with delta/full equivalence and a clean (or recovered)
+  # integrity report each round.
+  ./build-asan/policy_delta_test \
+    --gtest_filter='FailureStormFuzz.*:PolicyDeltaTest.RecoveryRebuildMatchesFromScratch'
+  ./build-asan/scheduler_integration_test \
+    --gtest_filter='FaultInjectorTest.*:PhaseSplitRoundTest.*:IntegrityRecoveryTest.*:IdempotentEventsTest.*'
 
   # Debug + TSan leg: the sharded graph-update pipeline runs the policies'
   # compute hooks concurrently (policy_delta_test's 1/2/8-shard fuzz) and

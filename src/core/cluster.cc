@@ -22,13 +22,15 @@ MachineId ClusterState::AddMachine(RackId rack, const MachineSpec& spec) {
   return id;
 }
 
-void ClusterState::RemoveMachine(MachineId machine) {
-  CHECK_LT(machine, machines_.size());
-  CHECK(machines_[machine].alive);
+bool ClusterState::RemoveMachine(MachineId machine) {
+  if (machine >= machines_.size() || !machines_[machine].alive) {
+    return false;  // unknown or already-dead machine: idempotent no-op
+  }
   machines_[machine].alive = false;
   auto& rack = racks_[machines_[machine].rack];
   rack.erase(std::remove(rack.begin(), rack.end(), machine), rack.end());
   --num_alive_machines_;
+  return true;
 }
 
 JobId ClusterState::SubmitJob(JobType type, int32_t priority, SimTime now) {
@@ -71,10 +73,13 @@ TaskDescriptor& ClusterState::mutable_task(TaskId id) {
   return it->second;
 }
 
-void ClusterState::PlaceTask(TaskId task_id, MachineId machine, SimTime now) {
-  TaskDescriptor& task = mutable_task(task_id);
-  CHECK(task.state == TaskState::kWaiting);
-  CHECK(machines_[machine].alive);
+bool ClusterState::PlaceTask(TaskId task_id, MachineId machine, SimTime now) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end() || it->second.state != TaskState::kWaiting ||
+      machine >= machines_.size() || !machines_[machine].alive) {
+    return false;  // stale placement (task gone/running, or machine died)
+  }
+  TaskDescriptor& task = it->second;
   task.state = TaskState::kRunning;
   task.machine = machine;
   task.placed_time = now;
@@ -83,11 +88,15 @@ void ClusterState::PlaceTask(TaskId task_id, MachineId machine, SimTime now) {
   machines_[machine].used_bandwidth_mbps += task.bandwidth_request_mbps;
   dirty_machines_.insert(machine);
   dirty_tasks_.insert(task_id);
+  return true;
 }
 
-void ClusterState::EvictTask(TaskId task_id, SimTime now) {
-  TaskDescriptor& task = mutable_task(task_id);
-  CHECK(task.state == TaskState::kRunning);
+bool ClusterState::EvictTask(TaskId task_id, SimTime now) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end() || it->second.state != TaskState::kRunning) {
+    return false;  // already evicted/completed, or never existed
+  }
+  TaskDescriptor& task = it->second;
   MachineDescriptor& machine = machines_[task.machine];
   machine.running_tasks -= 1;
   machine.used_bandwidth_mbps -= task.bandwidth_request_mbps;
@@ -98,11 +107,15 @@ void ClusterState::EvictTask(TaskId task_id, SimTime now) {
   // Eviction restarts the wait clock; accumulated wait is preserved in
   // total_wait so the unscheduled cost keeps growing (§3.3).
   task.submit_time = now;
+  return true;
 }
 
-void ClusterState::CompleteTask(TaskId task_id, SimTime now) {
-  TaskDescriptor& task = mutable_task(task_id);
-  CHECK(task.state == TaskState::kRunning);
+bool ClusterState::CompleteTask(TaskId task_id, SimTime now) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end() || it->second.state != TaskState::kRunning) {
+    return false;  // completion raced an eviction/removal, or unknown task
+  }
+  TaskDescriptor& task = it->second;
   MachineDescriptor& machine = machines_[task.machine];
   machine.running_tasks -= 1;
   machine.used_bandwidth_mbps -= task.bandwidth_request_mbps;
@@ -110,14 +123,17 @@ void ClusterState::CompleteTask(TaskId task_id, SimTime now) {
   dirty_tasks_.insert(task_id);
   task.state = TaskState::kCompleted;
   task.finish_time = now;
+  return true;
 }
 
-void ClusterState::ForgetTask(TaskId task_id) {
+bool ClusterState::ForgetTask(TaskId task_id) {
   auto it = tasks_.find(task_id);
-  CHECK(it != tasks_.end());
-  CHECK(it->second.state == TaskState::kCompleted);
+  if (it == tasks_.end() || it->second.state != TaskState::kCompleted) {
+    return false;
+  }
   tasks_.erase(it);
   dirty_tasks_.erase(task_id);
+  return true;
 }
 
 std::vector<TaskId> ClusterState::LiveTasks() const {

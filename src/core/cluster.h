@@ -85,7 +85,10 @@ class ClusterState {
   MachineId AddMachine(RackId rack, const MachineSpec& spec);
   // Marks the machine dead; running tasks must be evicted by the caller
   // (the scheduler does this, see FirmamentScheduler::RemoveMachine).
-  void RemoveMachine(MachineId machine);
+  // Returns false (and changes nothing) if the id is unknown or the machine
+  // is already dead — duplicate failure reports are a fact of life under
+  // failure storms, not a programming error.
+  bool RemoveMachine(MachineId machine);
 
   size_t num_racks() const { return racks_.size(); }
   size_t num_machines() const { return num_alive_machines_; }
@@ -110,11 +113,17 @@ class ClusterState {
   size_t num_tasks() const { return tasks_.size(); }
 
   // --- Task lifecycle ----------------------------------------------------
-  void PlaceTask(TaskId task, MachineId machine, SimTime now);
-  void EvictTask(TaskId task, SimTime now);
-  void CompleteTask(TaskId task, SimTime now);
+  // Lifecycle transitions are *idempotent*: an op whose precondition does
+  // not hold (unknown task, task not in the required state, dead target
+  // machine) returns false and mutates nothing, so stale or duplicated
+  // events — the common case under failure storms — are shrugged off
+  // instead of CHECK-aborting the control loop. Callers that believe their
+  // event is fresh should CHECK the return themselves.
+  bool PlaceTask(TaskId task, MachineId machine, SimTime now);
+  bool EvictTask(TaskId task, SimTime now);
+  bool CompleteTask(TaskId task, SimTime now);
   // Erases a completed task's descriptor (jobs keep their id lists).
-  void ForgetTask(TaskId task);
+  bool ForgetTask(TaskId task);
 
   // All tasks that currently exist and are not completed; the flow network
   // reschedules all of them continuously (§3).

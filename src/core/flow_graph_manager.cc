@@ -73,8 +73,10 @@ void FlowGraphManager::RemoveAggregator(const std::string& key) {
   network_.RemoveNode(node);
 }
 
-void FlowGraphManager::AddMachine(MachineId machine) {
-  CHECK(machine_to_node_.count(machine) == 0);
+bool FlowGraphManager::AddMachine(MachineId machine) {
+  if (machine_to_node_.count(machine) != 0) {
+    return false;  // already mapped: duplicate add event
+  }
   NodeId node = network_.AddNode(0, NodeKind::kMachine);
   machine_to_node_.emplace(machine, node);
   node_to_machine_.emplace(node, machine);
@@ -82,11 +84,14 @@ void FlowGraphManager::AddMachine(MachineId machine) {
   machine_sink_arc_.emplace(machine, to_sink);
   pending_machines_added_.insert(machine);
   policy_->OnMachineAdded(machine);
+  return true;
 }
 
-void FlowGraphManager::RemoveMachine(MachineId machine) {
+bool FlowGraphManager::RemoveMachine(MachineId machine) {
   auto it = machine_to_node_.find(machine);
-  CHECK(it != machine_to_node_.end());
+  if (it == machine_to_node_.end()) {
+    return false;  // never mapped or already removed: duplicate event
+  }
   NodeId node = it->second;
   policy_->OnMachineRemoved(machine);
   PurgeArcsTo(node);
@@ -96,6 +101,7 @@ void FlowGraphManager::RemoveMachine(MachineId machine) {
   machine_sink_arc_.erase(machine);
   pending_machines_added_.erase(machine);
   pending_machines_removed_.insert(machine);
+  return true;
 }
 
 void FlowGraphManager::InvalidateClass(EquivClass ec) {
@@ -229,8 +235,10 @@ void FlowGraphManager::AdvanceRamps(SimTime now) {
   }
 }
 
-void FlowGraphManager::AddTask(TaskId task_id, SimTime now) {
-  CHECK(task_info_.count(task_id) == 0);
+bool FlowGraphManager::AddTask(TaskId task_id, SimTime now) {
+  if (task_info_.count(task_id) != 0) {
+    return false;  // already mapped: duplicate submission
+  }
   const TaskDescriptor& task = cluster_->task(task_id);
   TaskInfo info;
   info.node = network_.AddNode(1, NodeKind::kTask);
@@ -253,11 +261,14 @@ void FlowGraphManager::AddTask(TaskId task_id, SimTime now) {
   network_.SetNodeSupply(sink_, network_.Supply(sink_) - 1);
   pending_tasks_submitted_.insert(task_id);
   policy_->OnTaskAdded(task);
+  return true;
 }
 
-void FlowGraphManager::RemoveTask(TaskId task_id) {
+bool FlowGraphManager::RemoveTask(TaskId task_id) {
   auto it = task_info_.find(task_id);
-  CHECK(it != task_info_.end());
+  if (it == task_info_.end()) {
+    return false;  // never mapped or already removed: duplicate event
+  }
   // The descriptor is still valid here; policies settle per-class
   // bookkeeping (e.g. request-aggregator refcounts) in the hook.
   policy_->OnTaskRemoved(cluster_->task(task_id));
@@ -290,6 +301,7 @@ void FlowGraphManager::RemoveTask(TaskId task_id) {
   }
   pending_tasks_submitted_.erase(task_id);
   pending_tasks_removed_.insert(task_id);
+  return true;
 }
 
 void FlowGraphManager::DrainTaskFlow(NodeId task_node) {
@@ -376,75 +388,171 @@ void FlowGraphManager::DiffArcsTo(NodeId src, NodeId dst, const std::vector<ArcS
 }
 
 size_t FlowGraphManager::ValidateIntegrity() const {
+  std::vector<std::string> violations;
+  size_t verified = CheckIntegrity(&violations);
+  for (const std::string& violation : violations) {
+    std::fprintf(stderr, "FlowGraphManager integrity violation: %s\n", violation.c_str());
+  }
+  CHECK(violations.empty());
+  return verified;
+}
+
+size_t FlowGraphManager::CheckIntegrity(std::vector<std::string>* violations) const {
   size_t verified = 0;
-  CHECK(network_.IsValidNode(sink_));
-  CHECK(network_.Kind(sink_) == NodeKind::kSink);
+  // Collects instead of aborting so the IntegrityChecker can decide whether
+  // the state is recoverable (rebuild from the cluster) or impossible.
+  auto fail = [violations](std::string what) {
+    if (violations != nullptr) {
+      violations->push_back(std::move(what));
+    }
+  };
+  auto expect = [&fail](bool ok, const char* what) {
+    if (!ok) {
+      fail(what);
+    }
+    return ok;
+  };
+
+  expect(network_.IsValidNode(sink_) && network_.Kind(sink_) == NodeKind::kSink,
+         "sink node invalid or wrong kind");
   for (const auto& [machine, node] : machine_to_node_) {
-    CHECK(network_.IsValidNode(node));
-    CHECK(network_.Kind(node) == NodeKind::kMachine);
-    CHECK(node_to_machine_.at(node) == machine);
-    ArcId to_sink = machine_sink_arc_.at(machine);
-    CHECK(network_.IsValidArc(to_sink));
-    CHECK_EQ(network_.Src(to_sink), node);
-    CHECK_EQ(network_.Dst(to_sink), sink_);
+    const std::string who = "machine " + std::to_string(machine);
+    if (!expect(network_.IsValidNode(node) && network_.Kind(node) == NodeKind::kMachine,
+                (who + ": node invalid or wrong kind").c_str())) {
+      continue;
+    }
+    auto rev = node_to_machine_.find(node);
+    expect(rev != node_to_machine_.end() && rev->second == machine,
+           (who + ": node->machine map mismatch").c_str());
+    auto arc_it = machine_sink_arc_.find(machine);
+    if (expect(arc_it != machine_sink_arc_.end(), (who + ": sink arc missing").c_str())) {
+      ArcId to_sink = arc_it->second;
+      expect(network_.IsValidArc(to_sink) && network_.Src(to_sink) == node &&
+                 network_.Dst(to_sink) == sink_,
+             (who + ": sink arc invalid or mis-wired").c_str());
+    }
     ++verified;
   }
+  expect(node_to_machine_.size() == machine_to_node_.size(),
+         "node->machine map carries extra entries");
   int64_t task_nodes = 0;
   for (const auto& [task, info] : task_info_) {
-    CHECK(network_.IsValidNode(info.node));
-    CHECK(network_.Kind(info.node) == NodeKind::kTask);
-    CHECK_EQ(network_.Supply(info.node), 1);
-    CHECK(node_to_task_.at(info.node) == task);
-    CHECK(network_.IsValidArc(info.unscheduled_arc));
-    CHECK_EQ(network_.Src(info.unscheduled_arc), info.node);
+    const std::string who = "task " + std::to_string(task);
+    if (!expect(network_.IsValidNode(info.node) && network_.Kind(info.node) == NodeKind::kTask,
+                (who + ": node invalid or wrong kind").c_str())) {
+      continue;
+    }
+    expect(network_.Supply(info.node) == 1, (who + ": supply != 1").c_str());
+    auto rev = node_to_task_.find(info.node);
+    expect(rev != node_to_task_.end() && rev->second == task,
+           (who + ": node->task map mismatch").c_str());
+    expect(network_.IsValidArc(info.unscheduled_arc) &&
+               network_.Src(info.unscheduled_arc) == info.node,
+           (who + ": unscheduled arc invalid or mis-wired").c_str());
     for (const auto& [key, arc] : info.arcs) {
-      CHECK(network_.IsValidArc(arc));
-      CHECK_EQ(network_.Src(arc), info.node);
-      CHECK_EQ(network_.Dst(arc), key.first);
+      expect(network_.IsValidArc(arc) && network_.Src(arc) == info.node &&
+                 network_.Dst(arc) == key.first,
+             (who + ": tracked arc invalid or mis-wired").c_str());
     }
     ++task_nodes;
     ++verified;
   }
-  CHECK_EQ(network_.Supply(sink_), -task_nodes);
+  expect(network_.Supply(sink_) == -task_nodes, "sink supply != -task_nodes");
   for (const auto& [key, info] : aggregators_) {
-    CHECK(network_.IsValidNode(info.node));
-    CHECK(node_to_aggregator_.at(info.node) == key);
+    const std::string who = "aggregator " + key;
+    if (!expect(network_.IsValidNode(info.node), (who + ": node invalid").c_str())) {
+      continue;
+    }
+    auto rev = node_to_aggregator_.find(info.node);
+    expect(rev != node_to_aggregator_.end() && rev->second == key,
+           (who + ": node->aggregator map mismatch").c_str());
     for (const auto& [arc_key, arc] : info.arcs) {
-      CHECK(network_.IsValidArc(arc));
-      CHECK_EQ(network_.Src(arc), info.node);
-      CHECK_EQ(network_.Dst(arc), arc_key.first);
+      expect(network_.IsValidArc(arc) && network_.Src(arc) == info.node &&
+                 network_.Dst(arc) == arc_key.first,
+             (who + ": tracked arc invalid or mis-wired").c_str());
     }
     ++verified;
   }
   for (const auto& [job, info] : job_info_) {
-    CHECK(network_.IsValidNode(info.unscheduled_node));
-    CHECK(network_.Kind(info.unscheduled_node) == NodeKind::kUnscheduled);
-    CHECK(node_to_job_.at(info.unscheduled_node) == job);
-    CHECK(network_.IsValidArc(info.to_sink));
-    CHECK_EQ(network_.Capacity(info.to_sink), info.live_tasks);
+    const std::string who = "job " + std::to_string(job);
+    if (!expect(network_.IsValidNode(info.unscheduled_node) &&
+                    network_.Kind(info.unscheduled_node) == NodeKind::kUnscheduled,
+                (who + ": unscheduled node invalid or wrong kind").c_str())) {
+      continue;
+    }
+    auto rev = node_to_job_.find(info.unscheduled_node);
+    expect(rev != node_to_job_.end() && rev->second == job,
+           (who + ": node->job map mismatch").c_str());
+    expect(network_.IsValidArc(info.to_sink) &&
+               network_.Capacity(info.to_sink) == info.live_tasks,
+           (who + ": unscheduled->sink arc capacity != live_tasks").c_str());
     ++verified;
   }
   // Cross-round class cache: every cached spec must target a live node and
   // be findable through the dst index (else a node removal could not
   // invalidate it), and the index must not point at evicted entries.
   for (const auto& [ec, arcs] : ec_cache_) {
+    const std::string who = "class " + std::to_string(ec);
     // Entries exist only while the class has live members (the refcounts
     // evict at zero, so an unpopulated class can never serve stale arcs).
-    CHECK(ec_refcount_.count(ec) != 0);
+    expect(ec_refcount_.count(ec) != 0, (who + ": cached without live members").c_str());
     for (const ArcSpec& spec : arcs) {
-      CHECK(network_.IsValidNode(spec.dst));
+      expect(network_.IsValidNode(spec.dst), (who + ": cached spec targets dead node").c_str());
       auto idx = ec_dst_index_.find(spec.dst);
-      CHECK(idx != ec_dst_index_.end());
-      CHECK(idx->second.count(ec) != 0);
+      expect(idx != ec_dst_index_.end() && idx->second.count(ec) != 0,
+             (who + ": cached spec missing from dst index").c_str());
     }
     ++verified;
   }
   for (const auto& [dst, classes] : ec_dst_index_) {
     for (EquivClass ec : classes) {
-      CHECK(ec_cache_.count(ec) != 0);
+      expect(ec_cache_.count(ec) != 0, "dst index points at evicted class entry");
     }
   }
   return verified;
+}
+
+void FlowGraphManager::RebuildFromCluster(SimTime now) {
+  // Drop everything graph-derived. Move-assigning a fresh FlowNetwork gives
+  // network_ a new uid, so every solver's persistent view detects the swap
+  // on its next Prepare() and rebuilds instead of patching a stale journal.
+  network_ = FlowNetwork();
+  network_.EnableChangeRecording(true);
+  machine_to_node_.clear();
+  node_to_machine_.clear();
+  task_info_.clear();
+  node_to_task_.clear();
+  job_info_.clear();
+  node_to_job_.clear();
+  machine_sink_arc_.clear();
+  aggregators_.clear();
+  node_to_aggregator_.clear();
+  pending_tasks_submitted_.clear();
+  pending_tasks_removed_.clear();
+  pending_machines_added_.clear();
+  pending_machines_removed_.clear();
+  marks_.Clear();
+  ec_cache_.clear();
+  ec_dst_index_.clear();
+  ec_refcount_.clear();
+  ramp_heap_ = {};
+  update_stats_ = UpdateRoundStats{};
+
+  sink_ = network_.AddNode(0, NodeKind::kSink);
+  // Policies reset their graph-derived bookkeeping here (re-entrancy
+  // contract, scheduling_policy.h) and re-learn it from the replay hooks.
+  policy_->Initialize(this);
+  // Replay in id order — the same order a from-scratch manager would see —
+  // so the rebuilt graph is byte-identical to a reference rebuild.
+  for (const MachineDescriptor& machine : cluster_->machines()) {
+    if (machine.alive) {
+      AddMachine(machine.id);
+    }
+  }
+  for (TaskId task : cluster_->LiveTasks()) {
+    AddTask(task, now);
+  }
+  UpdateRound(now, RefreshMode::kFull);
 }
 
 void FlowGraphManager::RefreshTask(TaskId task_id, SimTime now) {

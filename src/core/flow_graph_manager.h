@@ -117,10 +117,14 @@ class FlowGraphManager {
   FlowGraphManager& operator=(const FlowGraphManager&) = delete;
 
   // --- Cluster lifecycle events -------------------------------------------
-  void AddMachine(MachineId machine);
-  void RemoveMachine(MachineId machine);
-  void AddTask(TaskId task, SimTime now);
-  void RemoveTask(TaskId task);
+  // Idempotent: an event whose precondition fails (machine/task already
+  // mapped, or not mapped at all) returns false and leaves the graph
+  // untouched, so replayed or raced cluster events cannot corrupt the
+  // bookkeeping. Fresh events return true.
+  bool AddMachine(MachineId machine);
+  bool RemoveMachine(MachineId machine);
+  bool AddTask(TaskId task, SimTime now);
+  bool RemoveTask(TaskId task);
 
   // --- Per-round update (§6.3) ----------------------------------------------
   // Refreshes statistics-dependent arcs, unscheduled costs, and machine
@@ -159,6 +163,24 @@ class FlowGraphManager {
   // negated task-node count. Aborts (CHECK) on violation; returns the number
   // of entities verified. Intended for tests and debug builds.
   size_t ValidateIntegrity() const;
+  // Non-aborting variant: appends a human-readable line per violation to
+  // `violations` (when non-null) instead of CHECK-failing, and returns the
+  // number of entities verified. This is what the cross-layer
+  // IntegrityChecker runs every round — a dirty result triggers recovery
+  // (RebuildFromCluster) rather than an abort.
+  size_t CheckIntegrity(std::vector<std::string>* violations) const;
+
+  // --- Recovery -------------------------------------------------------------
+  // Detect-and-rebuild escape hatch: discards the entire flow network,
+  // bookkeeping, persistent class cache, and ramp heap, then replays the
+  // cluster's current state (alive machines in id order, live tasks in id
+  // order) and runs a full refresh — producing a graph byte-identical to a
+  // from-scratch manager's. The fresh FlowNetwork carries a new uid, so
+  // every solver view detects the swap and rebuilds instead of patching
+  // against a stale journal. Policies are re-Initialized (they must reset
+  // graph-derived state; see the re-entrancy contract in
+  // scheduling_policy.h).
+  void RebuildFromCluster(SimTime now);
 
   // Returns a stable aggregator node for `key` ("cluster", "rack:3",
   // "ra:400"), creating it on first use.

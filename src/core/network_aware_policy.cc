@@ -6,6 +6,12 @@ namespace firmament {
 
 void NetworkAwarePolicy::Initialize(FlowGraphManager* manager) {
   manager_ = manager;
+  // Re-entrant (recovery rebuilds re-Initialize against a fresh graph): RA
+  // bookkeeping resets here and is re-learned from the replayed OnTaskAdded
+  // hooks, which recreate the request aggregators.
+  aggregator_bucket_.clear();
+  bucket_live_tasks_.clear();
+  pending_buckets_.clear();
 }
 
 int64_t NetworkAwarePolicy::BucketFor(int64_t request_mbps) const {

@@ -30,6 +30,13 @@ QuincyPolicy::QuincyPolicy(const ClusterState* cluster, const DataLocalityInterf
 void QuincyPolicy::Initialize(FlowGraphManager* manager) {
   manager_ = manager;
   cluster_agg_ = manager_->GetOrCreateAggregator("cluster");
+  // Re-entrant (recovery rebuilds re-Initialize against a fresh graph):
+  // graph-derived bookkeeping resets here and is re-learned from the
+  // replayed OnMachineAdded/OnTaskAdded hooks.
+  slots_seen_.clear();
+  block_tasks_.clear();
+  pending_affected_tasks_.clear();
+  pending_dirty_all_ = false;
 }
 
 void QuincyPolicy::OnMachineAdded(MachineId machine) {

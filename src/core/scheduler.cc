@@ -1,5 +1,8 @@
 #include "src/core/scheduler.h"
 
+#include <cstdio>
+#include <utility>
+
 #include "src/base/check.h"
 #include "src/base/timer.h"
 
@@ -9,7 +12,9 @@ FirmamentScheduler::FirmamentScheduler(ClusterState* cluster, SchedulingPolicy* 
                                        FirmamentSchedulerOptions options)
     : cluster_(cluster),
       graph_manager_(cluster, policy, options.graph),
-      solver_(options.solver) {}
+      solver_(options.solver),
+      integrity_checker_(cluster, &graph_manager_),
+      check_integrity_(options.check_integrity) {}
 
 MachineId FirmamentScheduler::AddMachine(RackId rack, const MachineSpec& spec) {
   MachineId machine = cluster_->AddMachine(rack, spec);
@@ -18,6 +23,12 @@ MachineId FirmamentScheduler::AddMachine(RackId rack, const MachineSpec& spec) {
 }
 
 void FirmamentScheduler::RemoveMachine(MachineId machine, SimTime now) {
+  // Stale removal (unknown machine, or a duplicate delivery after the
+  // machine already died): ignore per the idempotency contract.
+  if (machine >= cluster_->machines().size() || !cluster_->machine(machine).alive) {
+    ++event_counters_.ignored_machine_removals;
+    return;
+  }
   // Callers driving a locality store (BlockStore) must notify it AFTER this
   // returns: the policy's OnMachineRemoved hook (inside the graph manager's
   // removal) queries the machine's replicas to compute the affected task
@@ -37,12 +48,25 @@ JobId FirmamentScheduler::SubmitJob(JobType type, int32_t priority,
     task.submit_time = now;
     task.state = TaskState::kWaiting;
     TaskId id = cluster_->AddTaskToJob(job, std::move(task));
-    graph_manager_.AddTask(id, now);
+    if (!graph_manager_.AddTask(id, now)) {
+      // The graph already tracks this id — a duplicate delivery raced the
+      // original submission. The cluster-side descriptor was freshly minted
+      // above, so the graph state stays authoritative; just count it.
+      ++event_counters_.ignored_task_submissions;
+    }
   }
   return job;
 }
 
 void FirmamentScheduler::CompleteTask(TaskId task, SimTime now) {
+  // Stale completion (unknown task, a task evicted back to waiting before
+  // the completion arrived, or a duplicate delivery): ignore per the
+  // idempotency contract. Skipping all three steps keeps cluster and graph
+  // in lockstep — a waiting task keeps its graph node and stays schedulable.
+  if (!cluster_->HasTask(task) || cluster_->task(task).state != TaskState::kRunning) {
+    ++event_counters_.ignored_task_completions;
+    return;
+  }
   cluster_->CompleteTask(task, now);
   graph_manager_.RemoveTask(task);
   cluster_->ForgetTask(task);
@@ -55,6 +79,27 @@ SchedulerRoundResult FirmamentScheduler::RunSchedulingRound(SimTime now) {
 
 SolveStats FirmamentScheduler::StartRound(SimTime now) {
   CHECK(!round_in_flight_);
+  if (check_integrity_) {
+    IntegrityReport report = integrity_checker_.Check();
+    if (!report.clean()) {
+      for (const std::string& violation : report.violations) {
+        fprintf(stderr, "integrity: %s\n", violation.c_str());
+      }
+      std::vector<RecoveryAction> actions = integrity_checker_.Recover(now);
+      // The rebuild swapped in a fresh network (new uid), so solver views
+      // rebuild on their own; warm-start potentials from the old graph are
+      // meaningless against it, drop them too.
+      solver_.ResetState();
+      pending_recovery_.insert(pending_recovery_.end(), actions.begin(), actions.end());
+      IntegrityReport recheck = integrity_checker_.Check();
+      for (const std::string& violation : recheck.violations) {
+        fprintf(stderr, "integrity (post-recovery): %s\n", violation.c_str());
+      }
+      // Still dirty after rebuilding the graph from the cluster alone:
+      // provably-impossible state, abort.
+      CHECK(recheck.clean());
+    }
+  }
   // Fig. 2b: update the graph, then run the solver. A non-optimal outcome
   // (infeasible cluster, budget-truncated approximate solve) is propagated
   // through the round result instead of aborting the scheduler.
@@ -76,14 +121,17 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
   result.outcome = pending_solve_.outcome;
   result.algorithm_runtime_us = pending_solve_.runtime_us;
   result.graph_update_us = pending_graph_update_us_;
+  result.recovery_actions = std::move(pending_recovery_);
+  pending_recovery_.clear();
 
   const bool have_placements = pending_solve_.outcome == SolveOutcome::kOptimal ||
                                pending_solve_.outcome == SolveOutcome::kApproximate;
   if (!have_placements) {
-    // Infeasible (or cancelled) round: the network carries no meaningful
-    // flow, so extracting placements would act on stale state. Apply no
-    // deltas — running tasks keep running, waiting tasks stay unscheduled —
-    // and let the next round retry after further cluster changes.
+    // Infeasible, cancelled, or degraded (solve budget expired) round: the
+    // network carries no meaningful flow, so extracting placements would act
+    // on stale state. Apply no deltas — running tasks keep running under
+    // their previous placements, waiting tasks stay unscheduled — and let
+    // the next round retry after further cluster changes.
     for (TaskId task : cluster_->LiveTasks()) {
       if (cluster_->task(task).state == TaskState::kWaiting) {
         ++result.tasks_unscheduled;
@@ -94,6 +142,13 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
   }
 
   ExtractionResult extraction = ExtractPlacements(graph_manager_);
+
+  // A machine removed between StartRound and ApplyRound invalidates every
+  // delta targeting it; those are dropped exactly like deltas for tasks that
+  // completed mid-round.
+  auto machine_alive = [&](MachineId machine) {
+    return machine < cluster_->machines().size() && cluster_->machine(machine).alive;
+  };
 
   // Diff extracted placements against current task state.
   for (const auto& [task_id, machine] : extraction.placements) {
@@ -118,6 +173,13 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
       continue;
     }
     if (task.state == TaskState::kWaiting) {
+      if (!machine_alive(machine)) {
+        // Target machine died mid-round: drop the delta; the task stays
+        // waiting and reschedules next round.
+        ++result.deltas_dropped;
+        ++result.tasks_unscheduled;
+        continue;
+      }
       SchedulingDelta delta;
       delta.kind = SchedulingDelta::Kind::kPlace;
       delta.task = task_id;
@@ -127,6 +189,13 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
       result.deltas.push_back(delta);
       ++result.tasks_placed;
     } else if (task.state == TaskState::kRunning && task.machine != machine) {
+      if (!machine_alive(machine)) {
+        // Migration target died mid-round: drop the delta BEFORE evicting,
+        // so the task keeps running where it is instead of being stranded
+        // waiting by an evict-then-failed-place pair.
+        ++result.deltas_dropped;
+        continue;
+      }
       SchedulingDelta delta;
       delta.kind = SchedulingDelta::Kind::kMigrate;
       delta.task = task_id;

@@ -17,6 +17,7 @@
 #include "src/base/metrics.h"
 #include "src/core/cluster.h"
 #include "src/core/flow_graph_manager.h"
+#include "src/core/integrity_checker.h"
 #include "src/core/placement_extractor.h"
 #include "src/core/scheduling_policy.h"
 #include "src/core/types.h"
@@ -39,7 +40,10 @@ struct SchedulerRoundResult {
   // Outcome of the round's solve. kOptimal and kApproximate rounds produce
   // placements; an infeasible round (e.g. an oversubscribed cluster after
   // RemoveMachine) applies no deltas and leaves waiting tasks unscheduled —
-  // it does NOT abort the scheduler, which retries next round.
+  // it does NOT abort the scheduler, which retries next round. A kDegraded
+  // round (solve_budget_us expired before a usable flow existed) likewise
+  // applies no deltas: running tasks keep their previous placements
+  // untouched and waiting tasks stay waiting until the next round.
   SolveOutcome outcome = SolveOutcome::kOptimal;
   uint64_t algorithm_runtime_us = 0;  // solver wall time (Fig. 2b)
   // Wall time of the round's graph-update pass (stats drain + policy arc
@@ -51,11 +55,33 @@ struct SchedulerRoundResult {
   size_t tasks_preempted = 0;
   size_t tasks_migrated = 0;
   size_t tasks_unscheduled = 0;
+  // Solver deltas dropped at apply time because their target machine was
+  // removed between StartRound and ApplyRound (mirrors the completed-task
+  // drop in the phase-split contract above).
+  size_t deltas_dropped = 0;
+  // Repairs performed by the integrity checker before this round's solve
+  // (empty unless FirmamentSchedulerOptions::check_integrity found damage).
+  std::vector<RecoveryAction> recovery_actions;
+};
+
+// Counters for cluster events that arrived stale (duplicated, raced with a
+// failure, or targeting an already-finished entity) and were ignored instead
+// of CHECK-aborting. See the idempotency contract on the event methods.
+struct SchedulerEventCounters {
+  size_t ignored_machine_removals = 0;  // machine unknown or already dead
+  size_t ignored_task_completions = 0;  // task unknown, waiting, or done
+  size_t ignored_task_submissions = 0;  // task already tracked by the graph
 };
 
 struct FirmamentSchedulerOptions {
   RacingSolverOptions solver;
   FlowGraphManagerOptions graph;
+  // When true, every round starts with a cross-layer IntegrityChecker pass;
+  // a dirty report triggers Recover() (drop caches, rebuild the graph from
+  // the cluster, reset solver state) and the actions taken are surfaced in
+  // SchedulerRoundResult::recovery_actions. A report that is still dirty
+  // after a full rebuild is provably impossible and aborts.
+  bool check_integrity = false;
 };
 
 class FirmamentScheduler {
@@ -67,6 +93,13 @@ class FirmamentScheduler {
   FirmamentScheduler& operator=(const FirmamentScheduler&) = delete;
 
   // --- Cluster events (mirrored into the flow graph) ------------------------
+  // Idempotency contract: event delivery under failures is at-least-once
+  // (a fault injector, a flaky agent, or a replayed trace may deliver the
+  // same event twice, or deliver it after the entity it targets is gone).
+  // Stale events — RemoveMachine on a dead/unknown machine, CompleteTask on
+  // a waiting/unknown/finished task, a task submission the graph already
+  // tracks — are therefore *ignored* (no state change) and counted in
+  // event_counters() rather than CHECK-aborting the control loop.
   MachineId AddMachine(RackId rack, const MachineSpec& spec);
   // Evicts running tasks (back to waiting) and removes the machine.
   void RemoveMachine(MachineId machine, SimTime now);
@@ -94,16 +127,24 @@ class FirmamentScheduler {
   const Distribution& placement_latency() const { return placement_latency_; }
   // Solver algorithm runtime samples in seconds (Fig. 3 / Fig. 7 metric).
   const Distribution& algorithm_runtime() const { return algorithm_runtime_; }
+  // Stale-event counters (see the idempotency contract above).
+  const SchedulerEventCounters& event_counters() const { return event_counters_; }
   void ClearMetrics();
 
  private:
   ClusterState* cluster_;
   FlowGraphManager graph_manager_;
   RacingSolver solver_;
+  IntegrityChecker integrity_checker_;
+  bool check_integrity_ = false;
   Distribution placement_latency_;
   Distribution algorithm_runtime_;
+  SchedulerEventCounters event_counters_;
   SolveStats pending_solve_;
   uint64_t pending_graph_update_us_ = 0;
+  // Repairs performed by the StartRound integrity pass, handed to the next
+  // ApplyRound's result.
+  std::vector<RecoveryAction> pending_recovery_;
   bool round_in_flight_ = false;
 };
 

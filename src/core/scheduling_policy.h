@@ -146,8 +146,13 @@ class SchedulingPolicy {
 
   virtual std::string name() const = 0;
 
-  // Called once when the manager is constructed; the policy creates its
-  // static aggregator nodes here (e.g. the cluster aggregator X).
+  // Called when the manager is constructed; the policy creates its static
+  // aggregator nodes here (e.g. the cluster aggregator X). MUST be
+  // re-entrant: a recovery rebuild (FlowGraphManager::RebuildFromCluster)
+  // calls it again against a fresh, empty graph, so any graph-derived
+  // bookkeeping (node ids, per-machine/per-class counts, pending marks)
+  // must be reset here — it is re-learned from the replayed
+  // OnMachineAdded/OnTaskAdded hooks that follow.
   virtual void Initialize(FlowGraphManager* manager) = 0;
 
   // --- Lifecycle hooks ------------------------------------------------------

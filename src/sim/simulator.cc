@@ -91,6 +91,8 @@ void ClusterSimulator::HandleApplyRound(SimTime now) {
   metrics_.tasks_placed += result.tasks_placed;
   metrics_.tasks_preempted += result.tasks_preempted;
   metrics_.tasks_migrated += result.tasks_migrated;
+  metrics_.deltas_dropped += result.deltas_dropped;
+  metrics_.recovery_actions += result.recovery_actions.size();
   metrics_.graph_update_seconds.Add(static_cast<double>(result.graph_update_us) / 1e6);
 
   RoundLogEntry entry;
@@ -129,10 +131,130 @@ void ClusterSimulator::MaybeStartRound(SimTime now) {
   SimTime charged = std::max<SimTime>(
       1, static_cast<SimTime>(static_cast<double>(stats.runtime_us) * params_.solver_charge_scale));
   solver_busy_ = true;
+  if (fault_injector_ != nullptr && charged > 1 && fault_injector_->RollMidRoundCrash()) {
+    // Land a crash strictly inside the StartRound..ApplyRound window: the
+    // round's deltas targeting the victim must be dropped at apply time.
+    SimTime crash_at = fault_injector_->PickTimeIn(now + 1, now + charged);
+    fault_schedule_.push_back({crash_at, FaultKind::kMachineCrash});
+    Push(crash_at, EventKind::kFault, fault_schedule_.size() - 1);
+  }
   Push(now + charged, EventKind::kApplyRound);
 }
 
+void ClusterSimulator::CrashMachine(MachineId machine, SimTime now) {
+  // Completions pending for tasks running there are now invalid: the
+  // scheduler evicts the tasks back to waiting, and they restart on their
+  // next placement.
+  for (TaskId task : cluster_->RunningTasksOn(machine)) {
+    ++placement_epoch_[task];
+  }
+  scheduler_->RemoveMachine(machine, now);
+  if (block_store_ != nullptr) {
+    // After the scheduler: the policy's removal hook still needs the
+    // machine's replica list (see FirmamentScheduler::RemoveMachine).
+    block_store_->OnMachineRemoved(machine);
+  }
+  ++metrics_.machines_crashed;
+}
+
+void ClusterSimulator::HandleFault(SimTime now, size_t index) {
+  const FaultSpec spec = fault_schedule_[index];
+  if (spec.kind == FaultKind::kMachineCrash) {
+    std::vector<MachineId> alive;
+    for (const MachineDescriptor& machine : cluster_->machines()) {
+      if (machine.alive) {
+        alive.push_back(machine.id);
+      }
+    }
+    if (alive.empty()) {
+      return;  // nothing left to crash
+    }
+    MachineId victim = alive[fault_injector_->PickIndex(alive.size())];
+    if (fault_injector_->RollStorm()) {
+      // Rack-correlated storm: the victim drags a slice of its rack down
+      // with it (id order keeps the victim set deterministic).
+      ++metrics_.failure_storms;
+      std::vector<MachineId> rack_victims;
+      for (MachineId peer : cluster_->MachinesInRack(cluster_->RackOf(victim))) {
+        if (peer != victim && cluster_->machine(peer).alive) {
+          rack_victims.push_back(peer);
+        }
+      }
+      double fraction = fault_injector_->params().storm_rack_fraction;
+      size_t extra = static_cast<size_t>(fraction * static_cast<double>(rack_victims.size() + 1));
+      extra = std::min(extra, rack_victims.size());
+      CrashMachine(victim, now);
+      for (size_t i = 0; i < extra; ++i) {
+        CrashMachine(rack_victims[i], now);
+      }
+    } else {
+      CrashMachine(victim, now);
+    }
+    pending_work_ = true;
+    return;
+  }
+  // FaultKind::kTaskKill: kill-and-resubmit of one running task. The current
+  // attempt is torn down entirely (the task id disappears) and a fresh
+  // single-task job re-enters after the lineage's capped exponential backoff.
+  std::vector<TaskId> running;
+  for (TaskId task : cluster_->LiveTasks()) {
+    if (cluster_->task(task).state == TaskState::kRunning) {
+      running.push_back(task);
+    }
+  }
+  if (running.empty()) {
+    return;
+  }
+  std::sort(running.begin(), running.end());  // deterministic victim pick
+  TaskId victim = running[fault_injector_->PickIndex(running.size())];
+  const TaskDescriptor& desc = cluster_->task(victim);
+  ResubmitSpec resubmit;
+  resubmit.runtime = desc.runtime;
+  resubmit.input_bytes = desc.input_size_bytes;
+  resubmit.bandwidth_mbps = desc.bandwidth_request_mbps;
+  auto kills_it = kill_counts_.find(victim);
+  resubmit.attempt = kills_it != kill_counts_.end() ? kills_it->second + 1 : 1;
+  if (kills_it != kill_counts_.end()) {
+    kill_counts_.erase(kills_it);
+  }
+  placement_epoch_.erase(victim);  // drop the pending completion
+  scheduler_->CompleteTask(victim, now);
+  resubmits_.push_back(resubmit);
+  ++metrics_.tasks_killed;
+  Push(now + fault_injector_->BackoffDelay(resubmit.attempt), EventKind::kFaultResubmit,
+       resubmits_.size() - 1);
+}
+
+void ClusterSimulator::HandleFaultResubmit(SimTime now, size_t index) {
+  const ResubmitSpec& spec = resubmits_[index];
+  TaskDescriptor task;
+  task.runtime = spec.runtime;
+  task.input_size_bytes = spec.input_bytes;
+  task.bandwidth_request_mbps = spec.bandwidth_mbps;
+  if (block_store_ != nullptr && spec.input_bytes > 0) {
+    task.input_blocks = block_store_->AllocateInput(spec.input_bytes);
+  }
+  std::vector<TaskDescriptor> tasks;
+  tasks.push_back(std::move(task));
+  JobId job = scheduler_->SubmitJob(JobType::kBatch, 0, std::move(tasks), now);
+  JobTracking tracking;
+  tracking.submit = now;
+  tracking.remaining = 1;
+  tracking.type = JobType::kBatch;
+  job_tracking_.emplace(job, tracking);
+  TaskId reincarnation = cluster_->job(job).tasks.back();
+  kill_counts_[reincarnation] = spec.attempt;  // the lineage remembers
+  ++metrics_.tasks_resubmitted;
+  pending_work_ = true;
+}
+
 SimulationMetrics ClusterSimulator::Run() {
+  if (fault_injector_ != nullptr) {
+    fault_schedule_ = fault_injector_->Schedule(params_.duration);
+    for (size_t i = 0; i < fault_schedule_.size(); ++i) {
+      Push(fault_schedule_[i].time, EventKind::kFault, i);
+    }
+  }
   while (!events_.empty()) {
     Event event = events_.top();
     events_.pop();
@@ -153,6 +275,14 @@ SimulationMetrics ClusterSimulator::Run() {
         break;
       case EventKind::kRoundTimer:
         timer_scheduled_ = false;
+        MaybeStartRound(event.time);
+        break;
+      case EventKind::kFault:
+        HandleFault(event.time, event.payload);
+        MaybeStartRound(event.time);
+        break;
+      case EventKind::kFaultResubmit:
+        HandleFaultResubmit(event.time, event.payload);
         MaybeStartRound(event.time);
         break;
     }

@@ -19,6 +19,7 @@
 #include "src/base/metrics.h"
 #include "src/core/scheduler.h"
 #include "src/sim/block_store.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/trace_generator.h"
 
 namespace firmament {
@@ -55,6 +56,13 @@ struct SimulationMetrics {
   size_t tasks_preempted = 0;
   size_t tasks_migrated = 0;
   size_t rounds = 0;
+  // Fault-injection accounting (zero unless a FaultInjector is attached).
+  size_t machines_crashed = 0;
+  size_t failure_storms = 0;
+  size_t tasks_killed = 0;
+  size_t tasks_resubmitted = 0;
+  size_t deltas_dropped = 0;  // mid-round machine deaths invalidating deltas
+  size_t recovery_actions = 0;
   std::vector<RoundLogEntry> round_log;
 };
 
@@ -71,6 +79,11 @@ class ClusterSimulator {
   // Loads job arrivals (must be called before Run).
   void LoadTrace(std::vector<TraceJobSpec> jobs);
 
+  // Attaches a fault injector (must be called before Run; optional). The
+  // injector's background schedule is materialized over the simulation
+  // duration at Run() start; mid-round crashes are rolled per round.
+  void SetFaultInjector(FaultInjector* injector) { fault_injector_ = injector; }
+
   // Runs the simulation to completion and returns the collected metrics.
   SimulationMetrics Run();
 
@@ -80,6 +93,8 @@ class ClusterSimulator {
     kRoundTimer = 1,
     kTaskCompletion = 2,
     kJobArrival = 3,
+    kFault = 4,          // payload = index into fault_schedule_
+    kFaultResubmit = 5,  // payload = index into resubmits_
   };
   struct Event {
     SimTime time = 0;
@@ -104,6 +119,9 @@ class ClusterSimulator {
   void HandleCompletion(SimTime now, TaskId task, uint64_t epoch);
   void HandleApplyRound(SimTime now);
   void MaybeStartRound(SimTime now);
+  void HandleFault(SimTime now, size_t index);
+  void HandleFaultResubmit(SimTime now, size_t index);
+  void CrashMachine(MachineId machine, SimTime now);
 
   FirmamentScheduler* scheduler_;
   ClusterState* cluster_;
@@ -119,6 +137,20 @@ class ClusterSimulator {
   SimTime last_round_start_ = 0;
   bool any_round_started_ = false;
   SimTime round_start_time_ = 0;
+
+  // Fault injection (optional). A killed task's lineage is resubmitted as a
+  // fresh single-task job after a capped exponential backoff; kill_counts_
+  // carries the lineage's kill count onto the resubmitted TaskId.
+  FaultInjector* fault_injector_ = nullptr;
+  std::vector<FaultSpec> fault_schedule_;
+  struct ResubmitSpec {
+    SimTime runtime = 0;
+    int64_t input_bytes = 0;
+    int64_t bandwidth_mbps = 0;
+    int attempt = 1;  // kills suffered by the lineage so far
+  };
+  std::vector<ResubmitSpec> resubmits_;
+  std::unordered_map<TaskId, int> kill_counts_;
 
   std::unordered_map<TaskId, uint64_t> placement_epoch_;
   struct JobTracking {

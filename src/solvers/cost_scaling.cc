@@ -95,6 +95,26 @@ SolveStats CostScaling::SolveView(const FlowNetwork& network, const std::atomic<
     view.SyncFlowFrom(network);
   }
   stats.view_prep_us = timer.ElapsedMicros();
+  // The prologue below is a handful of O(n + m) passes with no discharge
+  // polls; under a tight solve budget a cold view build alone can eat the
+  // whole allowance. Bail to kDegraded between passes rather than paying
+  // for work the deadline already invalidated. State stays consistent for
+  // the next round: the view is prepared (journal consumed), retained
+  // potentials are untouched.
+  auto degraded_early = [&](SolveStats* out) {
+    out->outcome = SolveOutcome::kDegraded;
+    out->deadline_exceeded = true;
+    out->flow_valid = false;
+    out->runtime_us = timer.ElapsedMicros();
+    // Persisted fixed-arc conclusions were derived under a journal this
+    // abandoned round consumed without validating them; drop rather than
+    // carry a potentially stale set into the next round.
+    fixed_.clear();
+  };
+  if (DeadlineExpired()) {
+    degraded_early(&stats);
+    return stats;
+  }
   const uint32_t n = view.num_nodes();
   const int64_t scale = CostScaleFor(n);
   // Retained potentials (or an import from price refine) make a warm start
@@ -201,6 +221,10 @@ SolveStats CostScaling::SolveView(const FlowNetwork& network, const std::atomic<
   }
 
   // --- Choose the starting ε -----------------------------------------------
+  if (DeadlineExpired()) {
+    degraded_early(&stats);
+    return stats;
+  }
   const int64_t max_eps = std::max<int64_t>(1, max_cost * scale);
   int64_t eps0;
   bool warm_refine = true;
@@ -299,6 +323,16 @@ SolveStats CostScaling::SolveView(const FlowNetwork& network, const std::atomic<
     }
     warm_budget = 0;
     if (result == RefineResult::kCancelled) {
+      finish(&stats);
+      return stats;
+    }
+    if (result == RefineResult::kDeadline) {
+      // The round's solve budget expired mid-refine: the star holds a
+      // partially repaired (infeasible) pseudo-flow, so no usable placement
+      // exists — report kDegraded and let the scheduler keep the previous
+      // round's placements (finish() leaves flow_valid false).
+      stats.outcome = SolveOutcome::kDegraded;
+      stats.deadline_exceeded = true;
       finish(&stats);
       return stats;
     }
@@ -456,6 +490,9 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
     stats->outcome = SolveOutcome::kCancelled;
     return RefineResult::kCancelled;
+  }
+  if (DeadlineExpired()) {
+    return RefineResult::kDeadline;
   }
 
   // Partial saturation: ε-optimality only requires c_pi >= -ε on residual
@@ -729,6 +766,9 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
                 stats->outcome = SolveOutcome::kCancelled;
                 return RefineResult::kCancelled;
               }
+              if (DeadlineExpired()) {
+                return RefineResult::kDeadline;
+              }
             }
             if (iteration_budget != 0 && stats->iterations - start_iterations > iteration_budget) {
               return RefineResult::kBudget;
@@ -771,6 +811,21 @@ CostScaling::RefineResult CostScaling::Refine(FlowNetworkView* view_ptr, int64_t
         pi_[v] = best + eps;
         cur_arc_[v] = view.first_out(v) + static_cast<uint32_t>(best_pos - begin);
         ++stats->iterations;
+        // Weight the poll counter by the adjacency actually scanned: on
+        // aggregator nodes one relabel walks 10^3-10^4 entries, so counting
+        // it as a single event would let thousands of such scans run
+        // between deadline polls and overshoot tight solve budgets.
+        pushes_since_poll += static_cast<uint64_t>(end - begin);
+        if (++pushes_since_poll >= 4096) {
+          pushes_since_poll = 0;
+          if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+            stats->outcome = SolveOutcome::kCancelled;
+            return RefineResult::kCancelled;
+          }
+          if (DeadlineExpired()) {
+            return RefineResult::kDeadline;
+          }
+        }
         if (++relabel_count_[v] > relabel_bound) {
           return RefineResult::kStuck;  // eps too small, or infeasible
         }

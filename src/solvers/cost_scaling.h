@@ -119,6 +119,7 @@ class CostScaling : public McmfSolver {
                  // (warm starts escalate) or the instance is infeasible
     kNoPath,     // positive excess with no residual out-arc: infeasible
     kBudget,     // warm-start attempt exceeded its iteration budget
+    kDeadline,   // round solve deadline expired (McmfSolver::set_deadline)
   };
   // One refine phase on the view: makes the flow feasible and eps-optimal.
   // `allow_arc_fixing` enables speculative arc fixing for this phase (the

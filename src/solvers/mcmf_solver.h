@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/base/timer.h"
 #include "src/flow/flow_network_view.h"
 #include "src/flow/graph.h"
 
@@ -36,6 +37,44 @@ enum class SolveOutcome : uint8_t {
   kInfeasible,   // supplies cannot be routed within capacities
   kCancelled,    // aborted via the cancellation token; flow state undefined
   kApproximate,  // stopped at a time budget with a suboptimal solution (§5.1)
+  kDegraded,     // solve-time budget expired before any usable flow existed;
+                 // the round keeps the previous placements and new tasks wait
+};
+
+// Cooperative solve-time deadline shared by every leg of a racing solve.
+// Armed once per round with an absolute budget; solvers poll Expired() at
+// the same sites as their cancellation checks. The first expiry flips a
+// sticky atomic flag so concurrent legs (and repeated polls) pay a relaxed
+// load instead of a clock read.
+class SolveDeadline {
+ public:
+  explicit SolveDeadline(uint64_t budget_us) : budget_us_(budget_us) {}
+
+  SolveDeadline(const SolveDeadline&) = delete;
+  SolveDeadline& operator=(const SolveDeadline&) = delete;
+
+  bool Expired() const {
+    if (expired_.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (timer_.ElapsedMicros() >= budget_us_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t budget_us() const { return budget_us_; }
+  uint64_t elapsed_us() const { return timer_.ElapsedMicros(); }
+  // Signed headroom: negative once the solve has overrun the budget.
+  int64_t SlackUs() const {
+    return static_cast<int64_t>(budget_us_) - static_cast<int64_t>(timer_.ElapsedMicros());
+  }
+
+ private:
+  WallTimer timer_;
+  uint64_t budget_us_;
+  mutable std::atomic<bool> expired_{false};
 };
 
 struct SolveStats {
@@ -68,6 +107,12 @@ struct SolveStats {
   // Whether the view holds a meaningful flow for this outcome (set by the
   // solver; consumed by Solve()'s writeback and the racing solver).
   bool flow_valid = false;
+  // Solve-time budget accounting (RacingSolverOptions::solve_budget_us):
+  // whether the round's deadline expired mid-solve (outcome kDegraded), and
+  // the signed headroom left when the winning leg returned — negative means
+  // the solve overran the budget by that many microseconds.
+  bool deadline_exceeded = false;
+  int64_t budget_slack_us = 0;
   std::string algorithm;
 
   bool optimal() const { return outcome == SolveOutcome::kOptimal; }
@@ -101,11 +146,21 @@ class McmfSolver {
 
   FlowNetworkView& view() { return view_; }
 
+  // Arms (or clears, with nullptr) the cooperative solve deadline. Solvers
+  // poll it next to their cancellation checks and return
+  // SolveOutcome::kDegraded (flow invalid) when it has expired. The pointer
+  // must outlive the solve; the racing solver arms all legs with one shared
+  // deadline per round.
+  void set_deadline(const SolveDeadline* deadline) { deadline_ = deadline; }
+
  protected:
   McmfSolver() = default;
 
+  bool DeadlineExpired() const { return deadline_ != nullptr && deadline_->Expired(); }
+
   // The persistent, incrementally-patched view (§6.2).
   FlowNetworkView view_;
+  const SolveDeadline* deadline_ = nullptr;
 };
 
 }  // namespace firmament

@@ -1,6 +1,7 @@
 #include "src/solvers/racing_solver.h"
 
 #include <atomic>
+#include <memory>
 
 #include "src/base/check.h"
 #include "src/base/timer.h"
@@ -40,6 +41,16 @@ void RacingSolver::ResetState() {
 
 SolveStats RacingSolver::Solve(FlowNetwork* network) {
   last_round_ = RoundStats{};
+  // One shared deadline per round: all legs poll it at their cancellation
+  // sites and return kDegraded once it expires, bounding the control loop's
+  // stall on an overrun solve (the first expiry flips a sticky flag, so the
+  // slower leg degrades at its next poll too).
+  std::unique_ptr<SolveDeadline> deadline;
+  if (options_.solve_budget_us > 0) {
+    deadline = std::make_unique<SolveDeadline>(options_.solve_budget_us);
+    relaxation_.set_deadline(deadline.get());
+    cost_scaling_.set_deadline(deadline.get());
+  }
   SolveStats result;
   switch (options_.mode) {
     case SolverMode::kRelaxationOnly:
@@ -54,6 +65,12 @@ SolveStats RacingSolver::Solve(FlowNetwork* network) {
     case SolverMode::kRace:
       result = SolveRace(network);
       break;
+  }
+  if (deadline != nullptr) {
+    relaxation_.set_deadline(nullptr);
+    cost_scaling_.set_deadline(nullptr);
+    result.deadline_exceeded = result.deadline_exceeded || deadline->Expired();
+    result.budget_slack_us = deadline->SlackUs();
   }
   last_round_.winner = result;
   last_round_.winner_algorithm = result.algorithm;

@@ -54,6 +54,14 @@ struct RacingSolverOptions {
   // scheduler-level benches can ablate the persistent variant.
   bool cost_scaling_arc_fixing = false;
   bool cost_scaling_arc_fix_persist = true;
+  // Per-round solve-time budget (0 = unlimited). When set, every leg polls
+  // a shared SolveDeadline at its cancellation sites; once it expires the
+  // round returns SolveOutcome::kDegraded — no flow is installed, the
+  // scheduler keeps the previous round's placements and new tasks wait —
+  // instead of stalling the control loop on an overrun solve. The returned
+  // SolveStats carries deadline_exceeded and budget_slack_us (signed
+  // headroom when the round resolved).
+  uint64_t solve_budget_us = 0;
 };
 
 struct RoundStats {
@@ -79,6 +87,11 @@ class RacingSolver {
 
   const RoundStats& last_round() const { return last_round_; }
   const RacingSolverOptions& options() const { return options_; }
+
+  // Runtime graceful-degradation knob: adjusts the per-round solve budget
+  // between rounds (0 disables). Operators tighten it under load shedding
+  // without rebuilding the scheduler stack.
+  void set_solve_budget_us(uint64_t budget_us) { options_.solve_budget_us = budget_us; }
 
   // Drops warm state (e.g. when switching workloads in benchmarks).
   void ResetState();

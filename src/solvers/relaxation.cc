@@ -205,6 +205,14 @@ SolveStats Relaxation::SolveView(const FlowNetwork& network, const std::atomic<b
       finish(&stats, /*install_flow=*/false);
       return stats;
     }
+    if (DeadlineExpired()) {
+      // Round solve budget expired: relaxation's intermediate pseudo-flow
+      // violates conservation, so nothing usable exists — degrade.
+      stats.outcome = SolveOutcome::kDegraded;
+      stats.deadline_exceeded = true;
+      finish(&stats, /*install_flow=*/false);
+      return stats;
+    }
     if (options_.time_budget_us != 0 && timer.ElapsedMicros() > options_.time_budget_us) {
       stats.outcome = SolveOutcome::kApproximate;
       finish(&stats, /*install_flow=*/true);
@@ -252,6 +260,12 @@ SolveStats Relaxation::SolveView(const FlowNetwork& network, const std::atomic<b
         steps_since_poll = 0;
         if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
           stats.outcome = SolveOutcome::kCancelled;
+          finish(&stats, /*install_flow=*/false);
+          return stats;
+        }
+        if (DeadlineExpired()) {
+          stats.outcome = SolveOutcome::kDegraded;
+          stats.deadline_exceeded = true;
           finish(&stats, /*install_flow=*/false);
           return stats;
         }

@@ -65,6 +65,13 @@ SolveStats SuccessiveShortestPath::SolveView(const FlowNetwork& network,
       stats.outcome = SolveOutcome::kCancelled;
       return stats;
     }
+    if (DeadlineExpired()) {
+      // Round solve budget expired before all sources were routed; the
+      // partial flow is not a usable assignment — degrade.
+      stats.outcome = SolveOutcome::kDegraded;
+      stats.deadline_exceeded = true;
+      return stats;
+    }
 
     // Dijkstra over reduced costs from s until the nearest deficit node.
     for (uint32_t t : touched) {

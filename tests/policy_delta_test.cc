@@ -20,6 +20,7 @@
 #include "src/base/rng.h"
 #include "src/core/cluster.h"
 #include "src/core/flow_graph_manager.h"
+#include "src/core/integrity_checker.h"
 #include "src/core/load_spreading_policy.h"
 #include "src/core/network_aware_policy.h"
 #include "src/core/quincy_policy.h"
@@ -375,6 +376,176 @@ void FuzzShardedEquivalence(Policy kind, uint64_t seed, int rounds) {
       }
     }
   }
+}
+
+// Failure-storm fuzz (robustness): one round into the scenario a
+// rack-correlated storm removes ~30% of the alive machines in a single
+// burst. Every round — before, during, and after the storm — the
+// delta-maintained graph must match a from-scratch rebuild, and the
+// cross-layer IntegrityChecker must report clean (or recover back to clean);
+// the persistent class cache stays on throughout, under both the serial and
+// the sharded update paths.
+void DriveFailureStorm(Policy kind, uint64_t seed, int update_shards) {
+  ClusterState cluster;
+  std::unique_ptr<BlockStore> store;
+  if (kind == Policy::kQuincyWithLocality) {
+    store = std::make_unique<BlockStore>(&cluster, seed + 1);
+  }
+  std::unique_ptr<SchedulingPolicy> policy = MakePolicy(kind, &cluster, store.get());
+  FirmamentSchedulerOptions options;
+  options.graph.update_shards = update_shards;
+  options.graph.persistent_class_cache = true;
+  FirmamentScheduler scheduler(&cluster, policy.get(), options);
+  IntegrityChecker checker(&cluster, &scheduler.graph_manager());
+  Rng rng(seed);
+
+  std::vector<RackId> racks;
+  for (int r = 0; r < 5; ++r) {
+    racks.push_back(cluster.AddRack());
+    for (int m = 0; m < 6; ++m) {
+      scheduler.AddMachine(racks.back(), MachineSpec{.slots = 3});
+    }
+  }
+
+  constexpr int kRounds = 10;
+  constexpr int kStormRound = 4;
+  SimTime now = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    now += static_cast<SimTime>(rng.NextInt(300, 1'700)) * 1'000;
+    if (rng.NextBool(0.8)) {
+      std::vector<TaskDescriptor> tasks(static_cast<size_t>(rng.NextInt(1, 4)));
+      for (TaskDescriptor& task : tasks) {
+        task.runtime = static_cast<SimTime>(rng.NextInt(5, 50)) * kSec;
+        task.bandwidth_request_mbps = rng.NextInt(50, 500);
+        if (store != nullptr && rng.NextBool(0.8)) {
+          task.input_size_bytes = rng.NextInt(200'000'000, 2'000'000'000);
+          task.input_blocks = store->AllocateInput(task.input_size_bytes);
+        }
+      }
+      scheduler.SubmitJob(JobType::kBatch, 0, std::move(tasks), now);
+    }
+    if (round == kStormRound) {
+      // The storm: whole racks go down together until ~30% of the alive
+      // machines are gone.
+      size_t quota = 0;
+      for (const MachineDescriptor& machine : cluster.machines()) {
+        if (machine.alive) {
+          ++quota;
+        }
+      }
+      quota = quota * 3 / 10;
+      while (quota > 0) {
+        std::vector<MachineId> alive;
+        for (const MachineDescriptor& machine : cluster.machines()) {
+          if (machine.alive) {
+            alive.push_back(machine.id);
+          }
+        }
+        MachineId epicenter = alive[rng.NextUint64(alive.size())];
+        for (MachineId peer : cluster.MachinesInRack(cluster.RackOf(epicenter))) {
+          if (quota == 0) {
+            break;
+          }
+          if (!cluster.machine(peer).alive) {
+            continue;
+          }
+          scheduler.RemoveMachine(peer, now);
+          if (store != nullptr) {
+            store->OnMachineRemoved(peer);
+          }
+          --quota;
+        }
+      }
+    }
+    scheduler.graph_manager().UpdateRound(now);
+    // Clean-or-recovers: normal operation must check clean; should a
+    // violation ever surface, recovery must restore a clean report.
+    IntegrityReport report = checker.Check();
+    if (!report.clean()) {
+      checker.Recover(now);
+      scheduler.solver().ResetState();
+      IntegrityReport recheck = checker.Check();
+      ASSERT_TRUE(recheck.clean())
+          << PolicyName(kind) << " seed " << seed << " round " << round
+          << ": still dirty after recovery (" << recheck.violations.size() << " violations)";
+    }
+    ExpectDeltaMatchesFullRefresh(kind, cluster, store.get(), scheduler.graph_manager(), now,
+                                  "storm round " + std::to_string(round));
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
+    SchedulerRoundResult result = scheduler.RunSchedulingRound(now);
+    ASSERT_NE(result.outcome, SolveOutcome::kCancelled);
+  }
+}
+
+void FuzzFailureStorms(Policy kind, int update_shards) {
+  for (uint64_t seed : {601u, 602u, 603u}) {
+    DriveFailureStorm(kind, seed, update_shards);
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(FailureStormFuzz, LoadSpreadingSerial) { FuzzFailureStorms(Policy::kLoadSpreading, 0); }
+TEST(FailureStormFuzz, LoadSpreadingSharded) { FuzzFailureStorms(Policy::kLoadSpreading, 4); }
+TEST(FailureStormFuzz, QuincySerial) { FuzzFailureStorms(Policy::kQuincy, 0); }
+TEST(FailureStormFuzz, QuincySharded) { FuzzFailureStorms(Policy::kQuincy, 4); }
+TEST(FailureStormFuzz, QuincyWithLocalitySerial) {
+  FuzzFailureStorms(Policy::kQuincyWithLocality, 0);
+}
+TEST(FailureStormFuzz, QuincyWithLocalitySharded) {
+  FuzzFailureStorms(Policy::kQuincyWithLocality, 4);
+}
+TEST(FailureStormFuzz, NetworkAwareSerial) { FuzzFailureStorms(Policy::kNetworkAware, 0); }
+TEST(FailureStormFuzz, NetworkAwareSharded) { FuzzFailureStorms(Policy::kNetworkAware, 4); }
+
+// After detect-and-rebuild recovery, the rebuilt graph must be
+// byte-identical to one constructed from scratch off the same cluster state
+// (acceptance criterion: post-recovery rounds match a from-scratch manager).
+TEST(PolicyDeltaTest, RecoveryRebuildMatchesFromScratch) {
+  ClusterState cluster;
+  std::unique_ptr<SchedulingPolicy> policy = MakePolicy(Policy::kQuincy, &cluster, nullptr);
+  FirmamentSchedulerOptions options;
+  options.graph.persistent_class_cache = true;
+  FirmamentScheduler scheduler(&cluster, policy.get(), options);
+  IntegrityChecker checker(&cluster, &scheduler.graph_manager());
+  RackId rack = cluster.AddRack();
+  for (int m = 0; m < 4; ++m) {
+    scheduler.AddMachine(rack, MachineSpec{.slots = 3});
+  }
+  scheduler.SubmitJob(JobType::kBatch, 0, std::vector<TaskDescriptor>(7, TaskDescriptor{}), 0);
+  SchedulerRoundResult first = scheduler.RunSchedulingRound(kSec);
+  ASSERT_EQ(first.outcome, SolveOutcome::kOptimal);
+  ASSERT_TRUE(checker.Check().clean());
+
+  // Corrupt the solved flow behind the manager's back.
+  FlowNetwork* net = scheduler.graph_manager().network();
+  ArcId corrupt = kInvalidArcId;
+  for (ArcId arc = 0; arc < net->ArcCapacityBound(); ++arc) {
+    if (net->IsValidArc(arc)) {
+      corrupt = arc;
+      break;
+    }
+  }
+  ASSERT_NE(corrupt, kInvalidArcId);
+  net->SetFlow(corrupt, net->Capacity(corrupt) + 3);
+  ASSERT_FALSE(checker.Check().clean());
+
+  std::vector<RecoveryAction> actions = checker.Recover(kSec);
+  scheduler.solver().ResetState();
+  ASSERT_FALSE(actions.empty());
+  ASSERT_TRUE(checker.Check().clean());
+
+  // The rebuilt graph equals a from-scratch build of the same cluster.
+  ExpectDeltaMatchesFullRefresh(Policy::kQuincy, cluster, nullptr, scheduler.graph_manager(),
+                                kSec, "post-recovery");
+
+  // And scheduling continues normally on it.
+  SchedulerRoundResult next = scheduler.RunSchedulingRound(2 * kSec);
+  EXPECT_NE(next.outcome, SolveOutcome::kCancelled);
+  EXPECT_GT(scheduler.graph_manager().ValidateIntegrity(), 0u);
 }
 
 TEST(PolicyDeltaEquivalence, LoadSpreadingFuzz) {

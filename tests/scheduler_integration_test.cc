@@ -3,6 +3,7 @@
 // long sequences of cluster events, and the simulator's accounting must stay
 // consistent.
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 
@@ -246,6 +247,310 @@ TEST_P(InfeasibleRoundTest, InfeasibleRoundLeavesTasksUnscheduledAndRecovers) {
 INSTANTIATE_TEST_SUITE_P(Modes, InfeasibleRoundTest,
                          ::testing::Values(SolverMode::kRace, SolverMode::kCostScalingOnly,
                                            SolverMode::kRelaxationOnly));
+
+// ---------------------------------------------------------------------------
+// Robustness: phase-split races, stale events, solve budgets, recovery.
+// ---------------------------------------------------------------------------
+
+// A machine failure report that lands between StartRound and ApplyRound —
+// reaching the cluster while the solved flow still routes tasks to the
+// victim — must drop exactly the victim's deltas (like completed-task
+// deltas) instead of placing tasks on a dead machine, and the next round's
+// integrity pass must repair the cluster <-> graph divergence.
+TEST(PhaseSplitRoundTest, MachineRemovedMidRoundDropsItsDeltas) {
+  ClusterState cluster;
+  LoadSpreadingPolicy policy(&cluster);
+  FirmamentSchedulerOptions options;
+  options.check_integrity = true;
+  FirmamentScheduler scheduler(&cluster, &policy, options);
+  RackId rack = cluster.AddRack();
+  MachineId m0 = scheduler.AddMachine(rack, MachineSpec{.slots = 4});
+  MachineId m1 = scheduler.AddMachine(rack, MachineSpec{.slots = 4});
+  scheduler.SubmitJob(JobType::kBatch, 0, std::vector<TaskDescriptor>(8, TaskDescriptor{}), 0);
+
+  scheduler.StartRound(kSec);
+  // The race: the failure report mutates the cluster mid-round; the graph
+  // (and the solved flow) still believe m0 exists.
+  ASSERT_TRUE(cluster.RemoveMachine(m0));
+
+  SchedulerRoundResult result = scheduler.ApplyRound(kSec + 1000);
+  EXPECT_EQ(result.outcome, SolveOutcome::kOptimal);
+  EXPECT_EQ(result.tasks_placed, 4u);      // m1's share applies normally
+  EXPECT_EQ(result.deltas_dropped, 4u);    // m0's share is dropped
+  EXPECT_EQ(result.tasks_unscheduled, 4u);
+  for (TaskId task : cluster.LiveTasks()) {
+    const TaskDescriptor& desc = cluster.task(task);
+    if (desc.state == TaskState::kRunning) {
+      EXPECT_EQ(desc.machine, m1) << "placement must only target alive machines";
+    }
+  }
+
+  // Next round: the graph still maps the dead machine; the integrity pass
+  // must detect the divergence, rebuild, and schedule normally.
+  SchedulerRoundResult next = scheduler.RunSchedulingRound(2 * kSec);
+  EXPECT_FALSE(next.recovery_actions.empty());
+  bool rebuilt = false;
+  for (const RecoveryAction& action : next.recovery_actions) {
+    rebuilt = rebuilt || action.kind == RecoveryActionKind::kRebuiltGraph;
+  }
+  EXPECT_TRUE(rebuilt);
+  EXPECT_EQ(next.outcome, SolveOutcome::kOptimal);
+  EXPECT_EQ(cluster.UsedSlots(), 4);  // m1 full; the rest wait for capacity
+  EXPECT_GT(scheduler.graph_manager().ValidateIntegrity(), 0u);
+}
+
+// Stale cluster events — duplicated or targeting finished entities — must
+// be ignored and counted, never CHECK-abort (see the idempotency contract
+// in scheduler.h).
+TEST(IdempotentEventsTest, StaleEventsAreCountedNotFatal) {
+  auto stack = MakeStack(Policy::kLoadSpreading, 1, 3, 2);  // 6 slots
+  stack->scheduler->SubmitJob(JobType::kBatch, 0,
+                              std::vector<TaskDescriptor>(8, TaskDescriptor{}), 0);
+  stack->scheduler->RunSchedulingRound(kSec);  // 6 run, 2 wait
+
+  // Double RemoveMachine and removal of an unknown machine.
+  stack->scheduler->RemoveMachine(0, 2 * kSec);
+  stack->scheduler->RemoveMachine(0, 2 * kSec);   // duplicate report
+  stack->scheduler->RemoveMachine(99, 2 * kSec);  // unknown machine
+  EXPECT_EQ(stack->scheduler->event_counters().ignored_machine_removals, 2u);
+
+  // CompleteTask on a waiting (evicted or never-placed) task and on an
+  // unknown id.
+  TaskId waiting = kInvalidTaskId;
+  TaskId running = kInvalidTaskId;
+  for (TaskId task : stack->cluster.LiveTasks()) {
+    if (stack->cluster.task(task).state == TaskState::kWaiting) {
+      waiting = task;
+    } else {
+      running = task;
+    }
+  }
+  ASSERT_NE(waiting, kInvalidTaskId);
+  ASSERT_NE(running, kInvalidTaskId);
+  stack->scheduler->CompleteTask(waiting, 2 * kSec);
+  EXPECT_EQ(stack->cluster.task(waiting).state, TaskState::kWaiting) << "must not mutate";
+  stack->scheduler->CompleteTask(987654, 2 * kSec);
+  EXPECT_EQ(stack->scheduler->event_counters().ignored_task_completions, 2u);
+
+  // A genuine completion works; its duplicate is then ignored.
+  stack->scheduler->CompleteTask(running, 2 * kSec);
+  stack->scheduler->CompleteTask(running, 2 * kSec);
+  EXPECT_EQ(stack->scheduler->event_counters().ignored_task_completions, 3u);
+
+  stack->scheduler->RunSchedulingRound(3 * kSec);
+  VerifyInvariants(stack.get(), "after stale events");
+}
+
+// A round whose solve budget expires before a usable flow exists must come
+// back kDegraded: no deltas, placements untouched by the round (tasks
+// evicted by a storm stay waiting; everything else keeps its machine), and
+// SolveStats reporting deadline_exceeded.
+TEST(SolveBudgetTest, BudgetExpiryDegradesRoundAndKeepsPlacements) {
+  ClusterState cluster;
+  LoadSpreadingPolicy policy(&cluster);
+  FirmamentSchedulerOptions options;
+  options.solver.mode = SolverMode::kCostScalingOnly;
+  options.solver.solve_budget_us = 10'000;  // 10 ms
+  FirmamentScheduler scheduler(&cluster, &policy, options);
+  RackId rack = cluster.AddRack();
+  std::vector<MachineId> machines;
+  for (int m = 0; m < 16; ++m) {
+    machines.push_back(scheduler.AddMachine(rack, MachineSpec{.slots = 8}));
+  }
+
+  // Round 1: a small job solves comfortably inside the budget.
+  scheduler.SubmitJob(JobType::kBatch, 0, std::vector<TaskDescriptor>(10, TaskDescriptor{}),
+                      0);
+  SchedulerRoundResult first = scheduler.RunSchedulingRound(kSec);
+  ASSERT_EQ(first.outcome, SolveOutcome::kOptimal);
+  ASSERT_EQ(first.tasks_placed, 10u);
+  EXPECT_FALSE(first.solver_stats.deadline_exceeded);
+  std::map<TaskId, MachineId> before;
+  MachineId victim = kInvalidMachineId;
+  for (TaskId task : cluster.LiveTasks()) {
+    before[task] = cluster.task(task).machine;
+    victim = cluster.task(task).machine;  // any machine hosting a task
+  }
+  ASSERT_NE(victim, kInvalidMachineId);
+
+  // A storm takes the victim down (its tasks go back to waiting), and a
+  // burst far beyond the budget arrives.
+  scheduler.RemoveMachine(victim, 2 * kSec);
+  scheduler.SubmitJob(JobType::kBatch, 0,
+                      std::vector<TaskDescriptor>(10'000, TaskDescriptor{}), 2 * kSec);
+
+  SchedulerRoundResult degraded = scheduler.RunSchedulingRound(3 * kSec);
+  ASSERT_EQ(degraded.outcome, SolveOutcome::kDegraded);
+  EXPECT_TRUE(degraded.solver_stats.deadline_exceeded);
+  EXPECT_LE(degraded.solver_stats.budget_slack_us, 0);
+  EXPECT_TRUE(degraded.deltas.empty());
+  EXPECT_EQ(degraded.tasks_placed, 0u);
+
+  // Only the storm touched placements: the victim's tasks wait, everyone
+  // else is exactly where round 1 put them.
+  for (const auto& [task, machine] : before) {
+    const TaskDescriptor& desc = cluster.task(task);
+    if (machine == victim) {
+      EXPECT_EQ(desc.state, TaskState::kWaiting);
+    } else {
+      EXPECT_EQ(desc.state, TaskState::kRunning);
+      EXPECT_EQ(desc.machine, machine);
+    }
+  }
+}
+
+// check.sh budget gate: the fig03/1250 shape (Quincy, 1250 machines x 10
+// slots, ~50% utilization) with a 1 ms solve budget imposed at steady state
+// must degrade rather than blocking the round when a large burst arrives.
+// The strict wall-time bound (solver stops within 2x the budget) only gates
+// when FIRMAMENT_BUDGET_GATE=1 — check.sh sets it on the release binary,
+// where deadline-poll granularity is fine-grained enough for the bound to
+// hold; sanitizer builds run the functional assertions only.
+TEST(SolveBudgetTest, Fig03ShapeDegradesWithinTwiceBudget) {
+  constexpr int64_t kBudgetUs = 1'000;
+  ClusterState cluster;
+  QuincyPolicy policy(&cluster, nullptr);
+  FirmamentSchedulerOptions options;
+  options.solver.mode = SolverMode::kCostScalingOnly;
+  FirmamentScheduler scheduler(&cluster, &policy, options);
+  RackId rack = kInvalidRackId;
+  for (int m = 0; m < 1250; ++m) {
+    if (m % 48 == 0) {
+      rack = cluster.AddRack();
+    }
+    scheduler.AddMachine(rack, MachineSpec{.slots = 10});
+  }
+  // Reach the ~50%-utilization steady state on an unbudgeted round (the
+  // cold first solve pays the one-time full view build).
+  scheduler.SubmitJob(JobType::kBatch, 0,
+                      std::vector<TaskDescriptor>(6'250, TaskDescriptor{}), 0);
+  SchedulerRoundResult warm = scheduler.RunSchedulingRound(kSec);
+  ASSERT_EQ(warm.outcome, SolveOutcome::kOptimal);
+  ASSERT_EQ(warm.tasks_placed, 6'250u);
+
+  // Load shedding: tighten the budget at runtime, then a burst far beyond
+  // 1 ms of solve work arrives.
+  scheduler.solver().set_solve_budget_us(kBudgetUs);
+  scheduler.SubmitJob(JobType::kBatch, 0,
+                      std::vector<TaskDescriptor>(3'000, TaskDescriptor{}), kSec);
+
+  SchedulerRoundResult result = scheduler.RunSchedulingRound(2 * kSec);
+  ASSERT_EQ(result.outcome, SolveOutcome::kDegraded);
+  EXPECT_TRUE(result.solver_stats.deadline_exceeded);
+  EXPECT_TRUE(result.deltas.empty());
+  EXPECT_EQ(cluster.UsedSlots(), 6'250);  // round-1 placements untouched
+  const char* gate = std::getenv("FIRMAMENT_BUDGET_GATE");
+  if (gate != nullptr && gate[0] == '1') {
+    // budget_slack_us = budget - elapsed at abandonment, so elapsed stays
+    // under 2x budget iff -slack stays under the budget itself.
+    EXPECT_LE(-result.solver_stats.budget_slack_us, kBudgetUs)
+        << "solver overran a 1 ms budget by more than the budget itself";
+  }
+}
+
+// Out-of-band graph damage (here: corrupted flow) must be detected by the
+// round-start integrity pass and repaired by a full rebuild, after which
+// scheduling continues normally.
+TEST(IntegrityRecoveryTest, CorruptedFlowIsDetectedAndRebuilt) {
+  ClusterState cluster;
+  QuincyPolicy policy(&cluster, nullptr);
+  FirmamentSchedulerOptions options;
+  options.check_integrity = true;
+  FirmamentScheduler scheduler(&cluster, &policy, options);
+  RackId rack = cluster.AddRack();
+  for (int m = 0; m < 4; ++m) {
+    scheduler.AddMachine(rack, MachineSpec{.slots = 4});
+  }
+  scheduler.SubmitJob(JobType::kBatch, 0, std::vector<TaskDescriptor>(6, TaskDescriptor{}), 0);
+  SchedulerRoundResult clean = scheduler.RunSchedulingRound(kSec);
+  ASSERT_EQ(clean.outcome, SolveOutcome::kOptimal);
+  EXPECT_TRUE(clean.recovery_actions.empty());
+
+  // Corrupt: push an arc's flow past its capacity behind the manager's back.
+  FlowNetwork* net = scheduler.graph_manager().network();
+  ArcId corrupt = kInvalidArcId;
+  for (ArcId arc = 0; arc < net->ArcCapacityBound(); ++arc) {
+    if (net->IsValidArc(arc)) {
+      corrupt = arc;
+      break;
+    }
+  }
+  ASSERT_NE(corrupt, kInvalidArcId);
+  net->SetFlow(corrupt, net->Capacity(corrupt) + 5);
+
+  IntegrityChecker checker(&cluster, &scheduler.graph_manager());
+  EXPECT_FALSE(checker.Check().clean());
+
+  SchedulerRoundResult repaired = scheduler.RunSchedulingRound(2 * kSec);
+  EXPECT_FALSE(repaired.recovery_actions.empty());
+  bool rebuilt = false;
+  for (const RecoveryAction& action : repaired.recovery_actions) {
+    rebuilt = rebuilt || action.kind == RecoveryActionKind::kRebuiltGraph;
+  }
+  EXPECT_TRUE(rebuilt);
+  EXPECT_EQ(repaired.outcome, SolveOutcome::kOptimal);
+  EXPECT_TRUE(checker.Check().clean());
+  EXPECT_GT(scheduler.graph_manager().ValidateIntegrity(), 0u);
+}
+
+// Deterministic fault injection: the same (seed, params) must produce the
+// same schedule and the same simulation, and a faulty run must keep the
+// accounting coherent with zero aborts.
+TEST(FaultInjectorTest, SeededRunsAreDeterministicAndCoherent) {
+  FaultInjectorParams fparams;
+  fparams.seed = 77;
+  fparams.machine_crash_rate = 0.08;
+  fparams.storm_probability = 0.3;
+  fparams.storm_rack_fraction = 0.5;
+  fparams.task_kill_rate = 0.3;
+  fparams.mid_round_crash_probability = 0.25;
+  {
+    FaultInjector a(fparams);
+    FaultInjector b(fparams);
+    std::vector<FaultSpec> sa = a.Schedule(60 * kSec);
+    std::vector<FaultSpec> sb = b.Schedule(60 * kSec);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].time, sb[i].time);
+      EXPECT_EQ(sa[i].kind, sb[i].kind);
+    }
+  }
+
+  auto run_sim = [&]() {
+    auto stack = MakeStack(Policy::kLoadSpreading, 2, 5, 4, SolverMode::kCostScalingOnly);
+    TraceGeneratorParams trace;
+    trace.num_machines = 10;
+    trace.slots_per_machine = 4;
+    trace.tasks_per_machine = 2.0;
+    trace.batch_runtime_log_mean = 2.0;
+    trace.batch_runtime_log_sigma = 0.4;
+    trace.max_job_tasks = 8;
+    trace.seed = 5;
+    TraceGenerator generator(trace);
+    SimulatorParams params;
+    params.duration = 60 * kSec;
+    ClusterSimulator sim(stack->scheduler.get(), &stack->cluster, nullptr, params);
+    sim.LoadTrace(generator.Generate(params.duration));
+    FaultInjector injector(fparams);
+    sim.SetFaultInjector(&injector);
+    SimulationMetrics metrics = sim.Run();
+    EXPECT_GT(metrics.machines_crashed, 0u);
+    EXPECT_GT(metrics.tasks_killed, 0u);
+    EXPECT_GE(metrics.tasks_killed, metrics.tasks_resubmitted);
+    // Coherent end state despite the faults.
+    for (TaskId task : stack->cluster.LiveTasks()) {
+      const TaskDescriptor& desc = stack->cluster.task(task);
+      if (desc.state == TaskState::kRunning) {
+        EXPECT_TRUE(stack->cluster.machine(desc.machine).alive);
+      }
+    }
+    EXPECT_GT(stack->scheduler->graph_manager().ValidateIntegrity(), 0u);
+    return metrics.rounds;
+  };
+  size_t rounds_a = run_sim();
+  size_t rounds_b = run_sim();
+  EXPECT_EQ(rounds_a, rounds_b) << "same seed, same simulation";
+}
 
 // ---------------------------------------------------------------------------
 // Wait-cost growth eventually schedules starving tasks (no permanent
