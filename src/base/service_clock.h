@@ -1,0 +1,75 @@
+// One monotonic time source shared by the simulator and the scheduler
+// service.
+//
+// Everything downstream of the event APIs is timestamped in SimTime
+// (microseconds since epoch zero): task submit times, unscheduled-cost
+// ramps, placement latency samples. Historically each driver threaded its
+// own `SimTime now` through every call; ServiceClock centralizes the source
+// so the discrete-event simulator (which *sets* the time per event) and the
+// long-running service (which *reads* wall time) plug into the same
+// scheduler unchanged.
+
+#ifndef SRC_BASE_SERVICE_CLOCK_H_
+#define SRC_BASE_SERVICE_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "src/base/check.h"
+#include "src/core/types.h"
+
+namespace firmament {
+
+class ServiceClock {
+ public:
+  virtual ~ServiceClock() = default;
+  // Current time in SimTime microseconds. Monotonic: successive calls never
+  // go backwards. Safe to call from any thread.
+  virtual SimTime Now() const = 0;
+};
+
+// Wall-clock source for service mode: SimTime zero is anchored at
+// construction and advances with std::chrono::steady_clock. `scale` maps
+// wall microseconds to SimTime microseconds (>1 replays traces faster than
+// real time; 1.0 is faithful).
+class WallServiceClock : public ServiceClock {
+ public:
+  explicit WallServiceClock(double scale = 1.0)
+      : scale_(scale), epoch_(std::chrono::steady_clock::now()) {
+    CHECK_GT(scale, 0.0);
+  }
+
+  SimTime Now() const override {
+    auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    double us = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+    return static_cast<SimTime>(us * scale_);
+  }
+
+ private:
+  const double scale_;
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+// Manually advanced source for discrete-event drivers: the simulator moves
+// it to each event's timestamp before dispatching the handler, and every
+// component below reads it instead of taking a `now` parameter. Atomic so a
+// service loop on another thread may read it while the driver advances.
+class ManualServiceClock : public ServiceClock {
+ public:
+  SimTime Now() const override { return now_.load(std::memory_order_acquire); }
+
+  // Advances to `now`; time never moves backwards (equal is fine — several
+  // events share a timestamp).
+  void AdvanceTo(SimTime now) {
+    CHECK_GE(now, now_.load(std::memory_order_relaxed));
+    now_.store(now, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<SimTime> now_{0};
+};
+
+}  // namespace firmament
+
+#endif  // SRC_BASE_SERVICE_CLOCK_H_

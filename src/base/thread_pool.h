@@ -129,6 +129,13 @@ class ThreadPool {
       state_->cv.wait(lock, [&] { return state_->done; });
     }
 
+    // Non-blocking completion probe; lets a pipelined caller poll an
+    // in-flight job while it drains other work.
+    bool Done() const {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      return state_->done;
+    }
+
    private:
     friend class ThreadPool;
     struct State {

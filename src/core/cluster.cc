@@ -193,4 +193,15 @@ int64_t ClusterState::UsedSlots() const {
   return used;
 }
 
+void EventStage::Stage(StagedEvent event) {
+  front_.push_back(std::move(event));
+  ++total_staged_;
+}
+
+std::vector<StagedEvent>& EventStage::TakeStaged() {
+  back_.clear();
+  back_.swap(front_);
+  return back_;
+}
+
 }  // namespace firmament

@@ -12,6 +12,7 @@
 #define SRC_CORE_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -162,6 +163,58 @@ class ClusterState {
   size_t num_alive_machines_ = 0;
   JobId next_job_id_ = 0;
   TaskId next_task_id_ = 0;
+};
+
+// --- Event staging (pipelined rounds) --------------------------------------
+//
+// While a round's solve is in flight, the flow network (and the solver views
+// patched from its journal) must not change under the solver. Cluster events
+// arriving mid-round are therefore split: the ClusterState half applies
+// eagerly (the solver never reads ClusterState, and eager application keeps
+// ids, statistics, and the idempotency checks exact), while the graph half —
+// the FlowGraphManager mutation *including its policy hooks, which create
+// and remove aggregator nodes* — is recorded as a StagedEvent and replayed
+// once the round's placements have been extracted.
+
+// One cluster event whose graph-side application is deferred.
+struct StagedEvent {
+  enum class Kind : uint8_t {
+    kMachineAdded,    // graph AddMachine(machine)
+    kMachineRemoved,  // graph RemoveMachine(machine), then `after`
+    kTasksSubmitted,  // graph AddTask(task, time) per task
+    kTaskCompleted,   // graph RemoveTask(task), then cluster ForgetTask(task)
+  };
+  Kind kind = Kind::kTasksSubmitted;
+  SimTime time = 0;  // the event's original arrival timestamp
+  MachineId machine = kInvalidMachineId;
+  TaskId task = kInvalidTaskId;
+  std::vector<TaskId> tasks;  // kTasksSubmitted: ids minted at arrival
+  // kMachineRemoved: deferred caller notification (e.g. dropping the
+  // machine's replicas from a locality store) that must run only after the
+  // policy's OnMachineRemoved hook has read the store.
+  std::function<void()> after;
+};
+
+// Double-buffered staging area: the front buffer accumulates arrivals while
+// the back buffer holds the batch currently being replayed, so a replay
+// that (transitively) stages new events never invalidates the iteration.
+class EventStage {
+ public:
+  void Stage(StagedEvent event);
+
+  // Swaps buffers and returns the staged batch, in arrival order, for
+  // replay. The returned reference stays valid until the next TakeStaged.
+  std::vector<StagedEvent>& TakeStaged();
+
+  size_t staged_count() const { return front_.size(); }
+  bool empty() const { return front_.empty(); }
+  // Monotonic: every event ever staged (observability / fuzz accounting).
+  uint64_t total_staged() const { return total_staged_; }
+
+ private:
+  std::vector<StagedEvent> front_;
+  std::vector<StagedEvent> back_;
+  uint64_t total_staged_ = 0;
 };
 
 }  // namespace firmament

@@ -48,8 +48,11 @@ void QuincyPolicy::OnMachineAdded(MachineId machine) {
 
 void QuincyPolicy::OnMachineRemoved(MachineId machine) {
   // Drain the rack aggregator with its last machine so no empty-rack node
-  // lingers in the graph. The cluster still lists the machine in its rack
-  // at this point (the manager is notified before the cluster mutation).
+  // lingers in the graph. The check holds in both hook orders: on the
+  // synchronous event path the cluster still lists the machine in its rack
+  // (the manager is notified before the cluster mutation), while under
+  // staged replay (pipelined rounds) the cluster half already applied and
+  // in_rack simply no longer contains the machine.
   RackId rack = cluster_->RackOf(machine);
   const std::vector<MachineId>& in_rack = cluster_->MachinesInRack(rack);
   bool drained = in_rack.empty() || (in_rack.size() == 1 && in_rack[0] == machine);

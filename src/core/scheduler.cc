@@ -18,42 +18,75 @@ FirmamentScheduler::FirmamentScheduler(ClusterState* cluster, SchedulingPolicy* 
 
 MachineId FirmamentScheduler::AddMachine(RackId rack, const MachineSpec& spec) {
   MachineId machine = cluster_->AddMachine(rack, spec);
-  graph_manager_.AddMachine(machine);
+  if (round_in_flight_) {
+    StagedEvent event;
+    event.kind = StagedEvent::Kind::kMachineAdded;
+    event.machine = machine;
+    event_stage_.Stage(std::move(event));
+  } else {
+    graph_manager_.AddMachine(machine);
+  }
   return machine;
 }
 
-void FirmamentScheduler::RemoveMachine(MachineId machine, SimTime now) {
+void FirmamentScheduler::RemoveMachine(MachineId machine, SimTime now,
+                                       std::function<void()> on_removed) {
   // Stale removal (unknown machine, or a duplicate delivery after the
-  // machine already died): ignore per the idempotency contract.
+  // machine already died): ignore per the idempotency contract. The
+  // caller's on_removed notification is dropped with the event.
   if (machine >= cluster_->machines().size() || !cluster_->machine(machine).alive) {
     ++event_counters_.ignored_machine_removals;
     return;
   }
-  // Callers driving a locality store (BlockStore) must notify it AFTER this
-  // returns: the policy's OnMachineRemoved hook (inside the graph manager's
-  // removal) queries the machine's replicas to compute the affected task
-  // set, so the store must still list them here — see
-  // DataLocalityInterface::BlocksOnMachine.
+  // Locality-store ordering: the policy's OnMachineRemoved hook (inside the
+  // graph manager's removal) queries the machine's replicas to compute the
+  // affected task set, so the store must still list them when the hook
+  // runs. Callers pass their store notification as `on_removed`, which
+  // runs right after the hook — immediately here on the sync path, at
+  // staged replay when a round is in flight.
   for (TaskId task : cluster_->RunningTasksOn(machine)) {
     cluster_->EvictTask(task, now);
   }
+  if (round_in_flight_) {
+    // The cluster half applies now (the machine reads dead, placements
+    // extracted from the in-flight solve get dropped against it); the
+    // graph half and the caller notification replay at ApplyRound.
+    cluster_->RemoveMachine(machine);
+    StagedEvent event;
+    event.kind = StagedEvent::Kind::kMachineRemoved;
+    event.machine = machine;
+    event.after = std::move(on_removed);
+    event_stage_.Stage(std::move(event));
+    return;
+  }
   graph_manager_.RemoveMachine(machine);
   cluster_->RemoveMachine(machine);
+  if (on_removed) {
+    on_removed();
+  }
 }
 
 JobId FirmamentScheduler::SubmitJob(JobType type, int32_t priority,
                                     std::vector<TaskDescriptor> tasks, SimTime now) {
   JobId job = cluster_->SubmitJob(type, priority, now);
+  StagedEvent staged;
+  staged.kind = StagedEvent::Kind::kTasksSubmitted;
+  staged.time = now;
   for (TaskDescriptor& task : tasks) {
     task.submit_time = now;
     task.state = TaskState::kWaiting;
     TaskId id = cluster_->AddTaskToJob(job, std::move(task));
-    if (!graph_manager_.AddTask(id, now)) {
+    if (round_in_flight_) {
+      staged.tasks.push_back(id);
+    } else if (!graph_manager_.AddTask(id, now)) {
       // The graph already tracks this id — a duplicate delivery raced the
       // original submission. The cluster-side descriptor was freshly minted
       // above, so the graph state stays authoritative; just count it.
       ++event_counters_.ignored_task_submissions;
     }
+  }
+  if (!staged.tasks.empty()) {
+    event_stage_.Stage(std::move(staged));
   }
   return job;
 }
@@ -68,8 +101,50 @@ void FirmamentScheduler::CompleteTask(TaskId task, SimTime now) {
     return;
   }
   cluster_->CompleteTask(task, now);
+  if (round_in_flight_) {
+    // ForgetTask defers with the graph removal: the policy's OnTaskRemoved
+    // hook reads the descriptor, so the cluster keeps it (state kCompleted,
+    // which placement extraction skips) until the staged replay.
+    StagedEvent event;
+    event.kind = StagedEvent::Kind::kTaskCompleted;
+    event.task = task;
+    event_stage_.Stage(std::move(event));
+    return;
+  }
   graph_manager_.RemoveTask(task);
   cluster_->ForgetTask(task);
+}
+
+void FirmamentScheduler::ReplayStagedEvents() {
+  // Replayed after extraction, in arrival order. Each event's validity was
+  // checked against (and its cluster half applied to) live cluster state at
+  // arrival, so the graph halves below cannot turn stale: a machine slated
+  // for removal still has its graph node, a completed task's descriptor is
+  // retained until its ForgetTask here, and submitted task ids are fresh.
+  for (StagedEvent& event : event_stage_.TakeStaged()) {
+    switch (event.kind) {
+      case StagedEvent::Kind::kMachineAdded:
+        graph_manager_.AddMachine(event.machine);
+        break;
+      case StagedEvent::Kind::kMachineRemoved:
+        graph_manager_.RemoveMachine(event.machine);
+        if (event.after) {
+          event.after();
+        }
+        break;
+      case StagedEvent::Kind::kTasksSubmitted:
+        for (TaskId task : event.tasks) {
+          if (!graph_manager_.AddTask(task, event.time)) {
+            ++event_counters_.ignored_task_submissions;
+          }
+        }
+        break;
+      case StagedEvent::Kind::kTaskCompleted:
+        graph_manager_.RemoveTask(event.task);
+        cluster_->ForgetTask(event.task);
+        break;
+    }
+  }
 }
 
 SchedulerRoundResult FirmamentScheduler::RunSchedulingRound(SimTime now) {
@@ -77,7 +152,7 @@ SchedulerRoundResult FirmamentScheduler::RunSchedulingRound(SimTime now) {
   return ApplyRound(now);
 }
 
-SolveStats FirmamentScheduler::StartRound(SimTime now) {
+void FirmamentScheduler::PrepareRound(SimTime now) {
   CHECK(!round_in_flight_);
   if (check_integrity_) {
     IntegrityReport report = integrity_checker_.Check();
@@ -100,20 +175,49 @@ SolveStats FirmamentScheduler::StartRound(SimTime now) {
       CHECK(recheck.clean());
     }
   }
-  // Fig. 2b: update the graph, then run the solver. A non-optimal outcome
+  // Fig. 2b: update the graph before the solve. A non-optimal outcome
   // (infeasible cluster, budget-truncated approximate solve) is propagated
   // through the round result instead of aborting the scheduler.
   WallTimer update_timer;
   graph_manager_.UpdateRound(now);
   pending_graph_update_us_ = update_timer.ElapsedMicros();
+}
+
+SolveStats FirmamentScheduler::StartRound(SimTime now) {
+  PrepareRound(now);
   pending_solve_ = solver_.Solve(graph_manager_.network());
   algorithm_runtime_.Add(static_cast<double>(pending_solve_.runtime_us) / 1e6);
   round_in_flight_ = true;
   return pending_solve_;
 }
 
+void FirmamentScheduler::StartRoundAsync(SimTime now) {
+  PrepareRound(now);
+  // Flags flip before the dispatch: the caller (the service loop thread)
+  // stages every event it applies from here on, so nothing the solve reads
+  // — the network or the journal its views patch from — changes under it.
+  round_in_flight_ = true;
+  solve_in_flight_ = true;
+  solver_.SolveAsync(graph_manager_.network());
+}
+
+bool FirmamentScheduler::RoundSolveDone() const {
+  return !solve_in_flight_ || solver_.async_solve_done();
+}
+
+SolveStats FirmamentScheduler::WaitRound() {
+  CHECK(round_in_flight_);
+  if (solve_in_flight_) {
+    pending_solve_ = solver_.WaitSolve();
+    solve_in_flight_ = false;
+    algorithm_runtime_.Add(static_cast<double>(pending_solve_.runtime_us) / 1e6);
+  }
+  return pending_solve_;
+}
+
 SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
   CHECK(round_in_flight_);
+  WaitRound();  // no-op when the solve ran synchronously
   round_in_flight_ = false;
   WallTimer round_timer;
   SchedulerRoundResult result;
@@ -137,6 +241,10 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
         ++result.tasks_unscheduled;
       }
     }
+    // Degraded/infeasible rounds still replay: staged events carry forward
+    // into the next round's graph instead of being lost, and admitted tasks
+    // keep their original submit timestamps for honest latency tails.
+    ReplayStagedEvents();
     result.total_runtime_us = round_timer.ElapsedMicros();
     return result;
   }
@@ -153,9 +261,15 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
   // Diff extracted placements against current task state.
   for (const auto& [task_id, machine] : extraction.placements) {
     if (!cluster_->HasTask(task_id)) {
-      continue;  // completed while the solver was running
+      continue;  // completed while the solver was running (and forgotten)
     }
     const TaskDescriptor& task = cluster_->task(task_id);
+    if (task.state == TaskState::kCompleted) {
+      // Completed mid-round with the graph half staged: the node (and its
+      // flow) are still in the extraction, but the task needs no action —
+      // its graph removal replays below.
+      continue;
+    }
     if (machine == kInvalidMachineId) {
       if (task.state == TaskState::kRunning) {
         // The optimal flow routes this task through its unscheduled
@@ -208,6 +322,13 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
     }
     // Running on the same machine: no action.
   }
+
+  // Staged graph mutations replay *after* extraction: events that arrived
+  // mid-round belong to the next round, and the solved flow must be diffed
+  // against the graph the solver actually saw. This is also what makes the
+  // pipelined loop placement-identical to a serialized one — the serialized
+  // loop applies the same events after the round, in the same order.
+  ReplayStagedEvents();
 
   result.total_runtime_us = round_timer.ElapsedMicros();
   return result;

@@ -11,6 +11,7 @@
 #ifndef SRC_CORE_SCHEDULER_H_
 #define SRC_CORE_SCHEDULER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -100,9 +101,25 @@ class FirmamentScheduler {
   // a waiting/unknown/finished task, a task submission the graph already
   // tracks — are therefore *ignored* (no state change) and counted in
   // event_counters() rather than CHECK-aborting the control loop.
+  //
+  // Staging contract (pipelined rounds): between StartRound/StartRoundAsync
+  // and ApplyRound, every event method splits. The ClusterState half applies
+  // immediately — ids are minted, statistics and dirty sets update, and the
+  // idempotency checks above stay exact — because the solver never reads
+  // ClusterState. The flow-graph half (FlowGraphManager mutations *and* the
+  // policy hooks they run, which create/remove aggregator nodes) is staged
+  // and replayed by ApplyRound after placement extraction, so nothing
+  // mutates the network or the journal a solve in flight is reading. The
+  // replay order is arrival order; validity was already established against
+  // cluster state at arrival, so a replayed mutation never turns stale.
   MachineId AddMachine(RackId rack, const MachineSpec& spec);
   // Evicts running tasks (back to waiting) and removes the machine.
-  void RemoveMachine(MachineId machine, SimTime now);
+  // `on_removed` is the caller's post-removal notification (e.g. dropping
+  // the machine's replicas from a locality store): it must run after the
+  // policy's OnMachineRemoved hook has read the store, and under staging
+  // that hook is deferred — passing the notification here defers it with
+  // the hook instead of racing ahead of it.
+  void RemoveMachine(MachineId machine, SimTime now, std::function<void()> on_removed = {});
   // Submits a job; tasks become schedulable in the next round.
   JobId SubmitJob(JobType type, int32_t priority, std::vector<TaskDescriptor> tasks, SimTime now);
   // Marks a running task completed and removes it from the graph.
@@ -114,10 +131,27 @@ class FirmamentScheduler {
   // Phase-split round for simulators (Fig. 2b): StartRound updates the graph
   // and runs the solver against the state at `now`; ApplyRound extracts the
   // placements and applies them at `apply_time` (= now + measured solver
-  // runtime in the simulator). Cluster events may be applied in between;
-  // deltas affecting since-completed tasks are dropped.
+  // runtime in the simulator). Cluster events may be applied in between
+  // (their graph half stages; see above); deltas affecting since-completed
+  // tasks or since-removed machines are dropped.
   SolveStats StartRound(SimTime now);
   SchedulerRoundResult ApplyRound(SimTime apply_time);
+
+  // Pipelined variant: StartRoundAsync updates the graph on the calling
+  // thread, then hands the solve to the racing solver's dispatch worker and
+  // returns. The caller keeps ingesting events (which stage) while the
+  // solve runs, polls RoundSolveDone(), and finishes with ApplyRound —
+  // which joins the solve if it is still in flight. WaitRound() joins
+  // explicitly and returns the solve stats (what StartRound returns).
+  void StartRoundAsync(SimTime now);
+  bool RoundSolveDone() const;
+  SolveStats WaitRound();
+
+  bool round_in_flight() const { return round_in_flight_; }
+  // Events currently staged for replay at the next ApplyRound, and the
+  // monotonic total ever staged.
+  size_t staged_events() const { return event_stage_.staged_count(); }
+  uint64_t total_staged_events() const { return event_stage_.total_staged(); }
 
   // --- Introspection ---------------------------------------------------------------
   ClusterState& cluster() { return *cluster_; }
@@ -132,6 +166,12 @@ class FirmamentScheduler {
   void ClearMetrics();
 
  private:
+  // Integrity pass + graph update: everything StartRound does before the
+  // solve, shared by the sync and async variants.
+  void PrepareRound(SimTime now);
+  // Applies the graph half of events staged while the round was in flight.
+  void ReplayStagedEvents();
+
   ClusterState* cluster_;
   FlowGraphManager graph_manager_;
   RacingSolver solver_;
@@ -146,6 +186,10 @@ class FirmamentScheduler {
   // ApplyRound's result.
   std::vector<RecoveryAction> pending_recovery_;
   bool round_in_flight_ = false;
+  // True between StartRoundAsync and WaitRound: the solve is (possibly)
+  // still running on the solver's dispatch worker.
+  bool solve_in_flight_ = false;
+  EventStage event_stage_;
 };
 
 }  // namespace firmament

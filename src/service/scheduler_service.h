@@ -1,0 +1,245 @@
+// Scheduler-as-a-service: a thread-safe admission front-end over the
+// FirmamentScheduler with a pipelined round loop.
+//
+// Producers (job submitters, node agents, trace replayers) call the
+// Submit/Complete/AddMachine/RemoveMachine API from any thread; events land
+// in sharded admission queues. One service loop thread drains the queues
+// under an admission policy (max batch size / max batch latency), applies
+// the events to the scheduler, and runs scheduling rounds. In pipelined
+// mode the loop starts round N's solve asynchronously (StartRoundAsync) and
+// keeps ingesting queued events while it runs — the scheduler's staging
+// contract keeps those mutations off the network the solver is reading —
+// so round N+1's admission work overlaps round N's solve.
+//
+// Thread model: producers touch only the sharded queues (one mutex each)
+// and the wake signal; the loop thread is the sole caller of scheduler,
+// cluster, and policy code; the solve itself runs on the racing solver's
+// dispatch worker, which reads only the flow network and its views. The
+// three domains share no mutable state outside the queue mutexes, which is
+// what the TSan-covered multi-producer fuzz test pins down.
+
+#ifndef SRC_SERVICE_SCHEDULER_SERVICE_H_
+#define SRC_SERVICE_SCHEDULER_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/base/service_clock.h"
+#include "src/core/scheduler.h"
+
+namespace firmament {
+
+// When a batch of queued events becomes a round.
+struct AdmissionPolicy {
+  size_t queue_shards = 4;
+  // Admission fires when at least this many tasks are queued...
+  size_t max_batch_tasks = 4096;
+  // ...or once the oldest queued event has waited this long. 0 = admit
+  // immediately whatever is queued (latency-optimal, smallest batches).
+  uint64_t max_batch_latency_us = 0;
+};
+
+struct SchedulerServiceOptions {
+  AdmissionPolicy admission;
+  // Overlap round N's solve with round N+1's ingest. Off = serialized
+  // baseline: ingest, then StartRound+ApplyRound back to back. Placements
+  // are identical in both modes for the same admitted event sequence (the
+  // acceptance bench checks byte-for-byte); only the overlap differs.
+  bool pipeline = true;
+};
+
+// Monotonic event/round counters; returned by value as a consistent-enough
+// snapshot (each field is individually atomic).
+struct ServiceCounters {
+  // Producer side.
+  uint64_t jobs_submitted = 0;
+  uint64_t tasks_submitted = 0;
+  uint64_t completions_submitted = 0;
+  uint64_t machine_adds_submitted = 0;
+  uint64_t machine_removals_submitted = 0;
+  // Loop side: admission.
+  uint64_t events_admitted = 0;
+  uint64_t tasks_admitted = 0;
+  uint64_t completions_applied = 0;
+  uint64_t completions_ignored = 0;  // stale at apply time (see scheduler.h)
+  // Loop side: rounds.
+  uint64_t rounds = 0;
+  uint64_t degraded_rounds = 0;
+  uint64_t tasks_placed = 0;    // first placements (exactly-once per task)
+  uint64_t re_placements = 0;   // placements after eviction/preemption
+  uint64_t preemptions = 0;
+  uint64_t migrations = 0;
+  // Events applied while a solve was in flight — the pipelining evidence.
+  uint64_t events_ingested_during_solve = 0;
+  // Admitted tasks still waiting for their first placement.
+  uint64_t pending_first_placements = 0;
+};
+
+class SchedulerService {
+ public:
+  SchedulerService(FirmamentScheduler* scheduler, ServiceClock* clock,
+                   SchedulerServiceOptions options = {});
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  // --- Callbacks (set before Start/Pump; run on the service loop thread) ---
+  // Fired for every kPlace delta — first placements and re-placements after
+  // eviction. The cluster may be read from inside (the loop thread owns it).
+  void set_on_placed(std::function<void(TaskId task, MachineId machine, SimTime now)> fn);
+  // Forwarded as the scheduler's on_removed callback (locality stores; see
+  // the ordering contract on FirmamentScheduler::RemoveMachine).
+  void set_on_machine_removed(std::function<void(MachineId machine)> fn);
+  // Fired after every ApplyRound with the round's result (benches log the
+  // delta stream; the equivalence check compares it across modes).
+  void set_on_round(std::function<void(const SchedulerRoundResult&)> fn);
+
+  // --- Producer API (thread-safe, non-blocking except AddMachine) ----------
+  // Enqueues a job; task ids are minted at admission. Returns the
+  // submission sequence number (not a JobId — ids don't exist yet).
+  uint64_t Submit(JobType type, int32_t priority, std::vector<TaskDescriptor> tasks);
+  // Enqueues a task completion. Stale completions (task preempted or gone
+  // by apply time) are dropped by the scheduler's idempotency contract.
+  void Complete(TaskId task);
+  // Adds a machine and returns its id. Inline (bootstrap) while the loop
+  // is not running; once it runs, the call blocks until the loop admits the
+  // event — ids are minted by the cluster on the loop thread. Must not race
+  // Stop() from another thread.
+  MachineId AddMachine(RackId rack, const MachineSpec& spec);
+  // Enqueues a machine removal (crash/decommission).
+  void RemoveMachine(MachineId machine);
+
+  // --- Service loop ---------------------------------------------------------
+  // Spawns the background loop thread. Producers may call the API before
+  // Start(); queued events are admitted once the loop runs.
+  void Start();
+  // Joins the loop, then quiesces on the calling thread: finishes any
+  // in-flight round, force-admits everything still queued, and runs rounds
+  // until no admission work remains (admitted tasks may still be waiting
+  // for capacity). Producers must have stopped before calling.
+  void Stop();
+  bool running() const { return running_; }
+
+  // Manual single-step for drivers that own the thread (benches, tests);
+  // must not be mixed with Start(). Drains due admissions and runs at most
+  // one round phase; returns whether anything happened. In pipelined mode
+  // one call starts the round (leaving the solve in flight) and the next
+  // call ingests staged work and finishes it.
+  bool Pump();
+
+  // --- Introspection --------------------------------------------------------
+  ServiceCounters counters() const;
+  // Submit-to-first-placement latency samples in seconds (enqueue on the
+  // producer thread -> ApplyRound that placed the task). Admitted-but-
+  // unplaced tasks keep their enqueue timestamps across degraded rounds, so
+  // the tail stays honest.
+  Distribution submit_to_placement_latency() const;
+  FirmamentScheduler& scheduler() { return *scheduler_; }
+  const ServiceClock& clock() const { return *clock_; }
+
+ private:
+  struct PendingMachineAdd {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    MachineId id = kInvalidMachineId;
+  };
+
+  struct ServiceEvent {
+    enum class Kind : uint8_t { kSubmitJob, kCompleteTask, kAddMachine, kRemoveMachine };
+    Kind kind = Kind::kSubmitJob;
+    SimTime enqueue_time = 0;
+    JobType type = JobType::kBatch;
+    int32_t priority = 0;
+    std::vector<TaskDescriptor> tasks;
+    TaskId task = kInvalidTaskId;
+    MachineId machine = kInvalidMachineId;
+    RackId rack = kInvalidRackId;
+    MachineSpec spec;
+    std::shared_ptr<PendingMachineAdd> pending_add;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::deque<ServiceEvent> queue;
+  };
+
+  void Enqueue(ServiceEvent event);
+  // Applies one admitted event to the scheduler (loop thread only).
+  void ApplyEvent(ServiceEvent& event);
+  // Checks the admission policy and, when due (or `force`), pops and
+  // applies up to max_batch_tasks queued tasks. Returns events applied.
+  size_t DrainAdmission(bool force);
+  SimTime OldestEnqueue();
+  // Joins the in-flight solve, applies the round, and does the placement
+  // bookkeeping (latency samples, exactly-once accounting, callbacks).
+  void FinishRound();
+  void StartServiceRound();
+  // One loop iteration; `block_finish` = wait for the in-flight solve
+  // instead of polling (manual Pump semantics).
+  bool PumpInternal(bool block_finish);
+  void LoopThread();
+
+  FirmamentScheduler* scheduler_;
+  ServiceClock* clock_;
+  SchedulerServiceOptions options_;
+
+  std::function<void(TaskId, MachineId, SimTime)> on_placed_;
+  std::function<void(MachineId)> on_machine_removed_;
+  std::function<void(const SchedulerRoundResult&)> on_round_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_shard_{0};
+  std::atomic<uint64_t> queued_events_{0};
+  std::atomic<uint64_t> queued_tasks_{0};
+
+  // Loop wake signal: producers notify after enqueueing.
+  std::mutex loop_mutex_;
+  std::condition_variable loop_cv_;
+  bool stop_ = false;
+  std::atomic<bool> running_{false};
+  std::thread loop_thread_;
+
+  // Loop-thread state.
+  bool pending_round_work_ = false;
+
+  // First-placement bookkeeping: admitted task -> producer enqueue time.
+  // Guarded by stats_mutex_ (written by the loop, read by counters()).
+  mutable std::mutex stats_mutex_;
+  std::unordered_map<TaskId, SimTime> pending_place_;
+  Distribution latency_;
+
+  struct AtomicCounters {
+    std::atomic<uint64_t> jobs_submitted{0};
+    std::atomic<uint64_t> tasks_submitted{0};
+    std::atomic<uint64_t> completions_submitted{0};
+    std::atomic<uint64_t> machine_adds_submitted{0};
+    std::atomic<uint64_t> machine_removals_submitted{0};
+    std::atomic<uint64_t> events_admitted{0};
+    std::atomic<uint64_t> tasks_admitted{0};
+    std::atomic<uint64_t> completions_applied{0};
+    std::atomic<uint64_t> completions_ignored{0};
+    std::atomic<uint64_t> rounds{0};
+    std::atomic<uint64_t> degraded_rounds{0};
+    std::atomic<uint64_t> tasks_placed{0};
+    std::atomic<uint64_t> re_placements{0};
+    std::atomic<uint64_t> preemptions{0};
+    std::atomic<uint64_t> migrations{0};
+    std::atomic<uint64_t> events_ingested_during_solve{0};
+  };
+  AtomicCounters counts_;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_SERVICE_SCHEDULER_SERVICE_H_

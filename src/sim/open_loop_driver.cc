@@ -1,0 +1,186 @@
+#include "src/sim/open_loop_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "src/base/check.h"
+
+namespace firmament {
+
+namespace {
+constexpr SimTime kNone = std::numeric_limits<SimTime>::max();
+// Cap a single wall sleep so the driver stays responsive to completions
+// that land while it waits for a far-off arrival.
+constexpr auto kMaxSleep = std::chrono::milliseconds(1);
+}  // namespace
+
+OpenLoopDriver::OpenLoopDriver(SchedulerService* service, OpenLoopParams params,
+                               FaultInjector* injector, std::vector<MachineId> machines)
+    : service_(service),
+      params_(params),
+      injector_(injector),
+      alive_machines_(std::move(machines)) {
+  CHECK_GT(params_.time_scale, 0.0);
+  service_->set_on_placed(
+      [this](TaskId task, MachineId machine, SimTime now) { OnPlaced(task, machine, now); });
+}
+
+void OpenLoopDriver::OnPlaced(TaskId task, MachineId machine, SimTime now) {
+  (void)machine;
+  // Loop-thread context: the cluster is safely readable here.
+  const TaskDescriptor& desc = service_->scheduler().cluster().task(task);
+  RunningInfo info;
+  info.runtime = desc.runtime;
+  info.input_bytes = desc.input_size_bytes;
+  info.bandwidth_mbps = desc.bandwidth_request_mbps;
+  std::unique_lock<std::mutex> lock(mutex_);
+  running_[task] = info;
+  PendingCompletion completion;
+  completion.due = now + info.runtime;
+  completion.task = task;
+  completions_.push(completion);
+}
+
+void OpenLoopDriver::SleepUntil(SimTime target) {
+  for (;;) {
+    SimTime now = service_->clock().Now();
+    if (now >= target) {
+      return;
+    }
+    auto wall = std::chrono::microseconds(std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(target - now) / params_.time_scale)));
+    std::this_thread::sleep_for(std::min<std::chrono::microseconds>(wall, kMaxSleep));
+  }
+}
+
+bool OpenLoopDriver::PopDueCompletion(SimTime upto, TaskId* task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!completions_.empty() && completions_.top().due <= upto) {
+    TaskId candidate = completions_.top().task;
+    completions_.pop();
+    if (running_.erase(candidate) > 0) {
+      *task = candidate;
+      return true;
+    }
+    // Stale entry: the task was killed or already force-completed.
+  }
+  return false;
+}
+
+OpenLoopReport OpenLoopDriver::Replay(const std::vector<TraceJobSpec>& jobs,
+                                      const std::vector<FaultSpec>& faults) {
+  size_t job_index = 0;
+  size_t fault_index = 0;
+  for (;;) {
+    SimTime next_job =
+        job_index < jobs.size() && jobs[job_index].arrival <= params_.horizon
+            ? jobs[job_index].arrival
+            : kNone;
+    SimTime next_fault =
+        fault_index < faults.size() && faults[fault_index].time <= params_.horizon
+            ? faults[fault_index].time
+            : kNone;
+    SimTime next_completion = kNone;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!completions_.empty() && completions_.top().due <= params_.horizon) {
+        next_completion = completions_.top().due;
+      }
+    }
+    SimTime next_resubmit =
+        !resubmits_.empty() && resubmits_.top().due <= params_.horizon ? resubmits_.top().due
+                                                                       : kNone;
+    SimTime next = std::min(std::min(next_job, next_fault),
+                            std::min(next_completion, next_resubmit));
+    if (next == kNone) {
+      break;
+    }
+    SleepUntil(next);
+
+    // Deliver completions first at equal times (frees capacity for the
+    // arrivals that follow), then arrivals, then faults.
+    if (next_completion == next) {
+      TaskId task = kInvalidTaskId;
+      while (PopDueCompletion(next, &task)) {
+        service_->Complete(task);
+        ++report_.completions_delivered;
+      }
+      continue;
+    }
+    if (next_resubmit == next) {
+      Resubmit resubmit = resubmits_.top();
+      resubmits_.pop();
+      TaskDescriptor task;
+      task.runtime = resubmit.info.runtime;
+      task.input_size_bytes = resubmit.info.input_bytes;
+      task.bandwidth_request_mbps = resubmit.info.bandwidth_mbps;
+      std::vector<TaskDescriptor> tasks;
+      tasks.push_back(task);
+      service_->Submit(JobType::kBatch, 0, std::move(tasks));
+      ++report_.tasks_resubmitted;
+      ++report_.tasks_submitted;
+      continue;
+    }
+    if (next_job == next) {
+      const TraceJobSpec& spec = jobs[job_index++];
+      std::vector<TaskDescriptor> tasks(spec.task_runtimes.size());
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        tasks[i].runtime = spec.task_runtimes[i];
+        tasks[i].input_size_bytes = spec.task_input_bytes[i];
+        tasks[i].bandwidth_request_mbps = spec.task_bandwidth_mbps[i];
+        // Block-store inputs are not materialized: the store is not
+        // thread-safe against the loop thread's policy reads.
+      }
+      report_.tasks_submitted += tasks.size();
+      ++report_.jobs_submitted;
+      service_->Submit(spec.type, spec.priority, std::move(tasks));
+      continue;
+    }
+    // Fault.
+    const FaultSpec& spec = faults[fault_index++];
+    if (injector_ == nullptr) {
+      continue;
+    }
+    if (spec.kind == FaultKind::kMachineCrash) {
+      if (alive_machines_.size() <= 1) {
+        continue;  // keep the cluster alive
+      }
+      size_t index = injector_->PickIndex(alive_machines_.size());
+      MachineId victim = alive_machines_[index];
+      alive_machines_.erase(alive_machines_.begin() + static_cast<long>(index));
+      service_->RemoveMachine(victim);
+      ++report_.machines_crashed;
+      continue;
+    }
+    // Task kill: tear the attempt down via Complete (as the simulator
+    // does) and resubmit a fresh single-task job after backoff.
+    TaskId victim = kInvalidTaskId;
+    RunningInfo info;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (running_.empty()) {
+        continue;
+      }
+      std::vector<TaskId> candidates;
+      candidates.reserve(running_.size());
+      for (const auto& [task, unused] : running_) {
+        candidates.push_back(task);
+      }
+      std::sort(candidates.begin(), candidates.end());  // deterministic pick
+      victim = candidates[injector_->PickIndex(candidates.size())];
+      info = running_[victim];
+      running_.erase(victim);
+    }
+    service_->Complete(victim);
+    ++report_.tasks_killed;
+    Resubmit resubmit;
+    resubmit.due = next + injector_->BackoffDelay(1);
+    resubmit.info = info;
+    resubmits_.push(resubmit);
+  }
+  return report_;
+}
+
+}  // namespace firmament

@@ -1,0 +1,111 @@
+// Open-loop load driver for the scheduler service.
+//
+// Replays a TraceGenerator job stream (plus an optional FaultInjector fault
+// stream) through the SchedulerService producer API in scaled real time:
+// submission instants come from the trace clock, not from scheduler
+// progress, so when the service falls behind, the backlog surfaces as
+// submit-to-placement latency instead of as back-pressure on the generator
+// — the production-traffic shape none of the paper's figures measure.
+//
+// The loop is closed on completions: the driver registers the service's
+// placement callback, schedules each placed task's completion at
+// place_time + runtime on an internal heap, and delivers Complete() calls
+// when they come due. Simplifications versus the discrete-event simulator
+// (documented, deliberate — this is a load generator, not a fidelity
+// model): migrations do not restart a task's work, and a preempted task's
+// stale completion may fire while it waits (the scheduler's idempotency
+// contract drops it; the task completes after its next placement).
+
+#ifndef SRC_SIM_OPEN_LOOP_DRIVER_H_
+#define SRC_SIM_OPEN_LOOP_DRIVER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/service/scheduler_service.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/trace_generator.h"
+
+namespace firmament {
+
+struct OpenLoopParams {
+  // SimTime microseconds per wall microsecond; must match the scale of the
+  // WallServiceClock the service reads (the driver sleeps wall time =
+  // sim gap / time_scale).
+  double time_scale = 1.0;
+  // Replay stops submitting at this trace time; completions already due
+  // keep draining until the submission stream ends.
+  SimTime horizon = 10 * kMicrosPerSecond;
+};
+
+struct OpenLoopReport {
+  uint64_t jobs_submitted = 0;
+  uint64_t tasks_submitted = 0;
+  uint64_t completions_delivered = 0;
+  uint64_t machines_crashed = 0;
+  uint64_t tasks_killed = 0;
+  uint64_t tasks_resubmitted = 0;
+};
+
+class OpenLoopDriver {
+ public:
+  // Registers the driver's placement handler on the service — construct
+  // before service->Start(). `machines` is the crashable machine set
+  // (typically every bootstrap machine); `injector` may be null (no
+  // faults are replayed then).
+  OpenLoopDriver(SchedulerService* service, OpenLoopParams params, FaultInjector* injector,
+                 std::vector<MachineId> machines);
+
+  OpenLoopDriver(const OpenLoopDriver&) = delete;
+  OpenLoopDriver& operator=(const OpenLoopDriver&) = delete;
+
+  // Replays the streams on the calling thread until the horizon; the
+  // service must be running (or be pumped by another owner). Jobs and
+  // faults must be sorted by time.
+  OpenLoopReport Replay(const std::vector<TraceJobSpec>& jobs,
+                        const std::vector<FaultSpec>& faults);
+
+ private:
+  struct PendingCompletion {
+    SimTime due = 0;
+    TaskId task = kInvalidTaskId;
+    bool operator>(const PendingCompletion& other) const { return due > other.due; }
+  };
+  struct RunningInfo {
+    SimTime runtime = 0;
+    int64_t input_bytes = 0;
+    int64_t bandwidth_mbps = 0;
+  };
+  struct Resubmit {
+    SimTime due = 0;
+    RunningInfo info;
+    bool operator>(const Resubmit& other) const { return due > other.due; }
+  };
+
+  void OnPlaced(TaskId task, MachineId machine, SimTime now);
+  void SleepUntil(SimTime target);
+  // Pops the next due completion under the lock; false if none due by
+  // `upto`.
+  bool PopDueCompletion(SimTime upto, TaskId* task);
+
+  SchedulerService* service_;
+  OpenLoopParams params_;
+  FaultInjector* injector_;
+  std::vector<MachineId> alive_machines_;
+
+  // Fed by OnPlaced on the service loop thread, drained by Replay.
+  std::mutex mutex_;
+  std::priority_queue<PendingCompletion, std::vector<PendingCompletion>, std::greater<>>
+      completions_;
+  std::unordered_map<TaskId, RunningInfo> running_;
+
+  std::priority_queue<Resubmit, std::vector<Resubmit>, std::greater<>> resubmits_;
+  OpenLoopReport report_;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_SIM_OPEN_LOOP_DRIVER_H_

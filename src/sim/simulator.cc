@@ -1,6 +1,8 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "src/base/check.h"
 
@@ -27,7 +29,8 @@ void ClusterSimulator::Push(SimTime time, EventKind kind, uint64_t payload, uint
   events_.push(event);
 }
 
-void ClusterSimulator::HandleJobArrival(SimTime now, size_t job_index) {
+void ClusterSimulator::HandleJobArrival(size_t job_index) {
+  const SimTime now = clock_.Now();
   const TraceJobSpec& spec = trace_[job_index];
   std::vector<TaskDescriptor> tasks(spec.task_runtimes.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
@@ -47,7 +50,8 @@ void ClusterSimulator::HandleJobArrival(SimTime now, size_t job_index) {
   pending_work_ = true;
 }
 
-void ClusterSimulator::HandleCompletion(SimTime now, TaskId task, uint64_t epoch) {
+void ClusterSimulator::HandleCompletion(TaskId task, uint64_t epoch) {
+  const SimTime now = clock_.Now();
   auto it = placement_epoch_.find(task);
   if (it == placement_epoch_.end() || it->second != epoch) {
     return;  // stale: the task was preempted or migrated since this was set
@@ -70,7 +74,8 @@ void ClusterSimulator::HandleCompletion(SimTime now, TaskId task, uint64_t epoch
   pending_work_ = true;
 }
 
-void ClusterSimulator::HandleApplyRound(SimTime now) {
+void ClusterSimulator::HandleApplyRound() {
+  const SimTime now = clock_.Now();
   SchedulerRoundResult result = scheduler_->ApplyRound(now);
   for (const SchedulingDelta& delta : result.deltas) {
     switch (delta.kind) {
@@ -108,10 +113,11 @@ void ClusterSimulator::HandleApplyRound(SimTime now) {
   if (result.tasks_preempted > 0) {
     pending_work_ = true;  // preempted tasks want re-placement
   }
-  MaybeStartRound(now);
+  MaybeStartRound();
 }
 
-void ClusterSimulator::MaybeStartRound(SimTime now) {
+void ClusterSimulator::MaybeStartRound() {
+  const SimTime now = clock_.Now();
   if (solver_busy_ || !pending_work_) {
     return;
   }
@@ -141,23 +147,26 @@ void ClusterSimulator::MaybeStartRound(SimTime now) {
   Push(now + charged, EventKind::kApplyRound);
 }
 
-void ClusterSimulator::CrashMachine(MachineId machine, SimTime now) {
+void ClusterSimulator::CrashMachine(MachineId machine) {
   // Completions pending for tasks running there are now invalid: the
   // scheduler evicts the tasks back to waiting, and they restart on their
   // next placement.
   for (TaskId task : cluster_->RunningTasksOn(machine)) {
     ++placement_epoch_[task];
   }
-  scheduler_->RemoveMachine(machine, now);
+  // The locality store's replica drop rides the scheduler's on_removed
+  // callback: it must run after the policy's removal hook reads the store,
+  // and mid-round that hook is staged — the callback defers with it.
+  std::function<void()> on_removed;
   if (block_store_ != nullptr) {
-    // After the scheduler: the policy's removal hook still needs the
-    // machine's replica list (see FirmamentScheduler::RemoveMachine).
-    block_store_->OnMachineRemoved(machine);
+    on_removed = [this, machine] { block_store_->OnMachineRemoved(machine); };
   }
+  scheduler_->RemoveMachine(machine, clock_.Now(), std::move(on_removed));
   ++metrics_.machines_crashed;
 }
 
-void ClusterSimulator::HandleFault(SimTime now, size_t index) {
+void ClusterSimulator::HandleFault(size_t index) {
+  const SimTime now = clock_.Now();
   const FaultSpec spec = fault_schedule_[index];
   if (spec.kind == FaultKind::kMachineCrash) {
     std::vector<MachineId> alive;
@@ -183,12 +192,12 @@ void ClusterSimulator::HandleFault(SimTime now, size_t index) {
       double fraction = fault_injector_->params().storm_rack_fraction;
       size_t extra = static_cast<size_t>(fraction * static_cast<double>(rack_victims.size() + 1));
       extra = std::min(extra, rack_victims.size());
-      CrashMachine(victim, now);
+      CrashMachine(victim);
       for (size_t i = 0; i < extra; ++i) {
-        CrashMachine(rack_victims[i], now);
+        CrashMachine(rack_victims[i]);
       }
     } else {
-      CrashMachine(victim, now);
+      CrashMachine(victim);
     }
     pending_work_ = true;
     return;
@@ -225,7 +234,8 @@ void ClusterSimulator::HandleFault(SimTime now, size_t index) {
        resubmits_.size() - 1);
 }
 
-void ClusterSimulator::HandleFaultResubmit(SimTime now, size_t index) {
+void ClusterSimulator::HandleFaultResubmit(size_t index) {
+  const SimTime now = clock_.Now();
   const ResubmitSpec& spec = resubmits_[index];
   TaskDescriptor task;
   task.runtime = spec.runtime;
@@ -261,29 +271,30 @@ SimulationMetrics ClusterSimulator::Run() {
     if (event.time > params_.duration) {
       break;
     }
+    clock_.AdvanceTo(event.time);
     switch (event.kind) {
       case EventKind::kJobArrival:
-        HandleJobArrival(event.time, event.payload);
-        MaybeStartRound(event.time);
+        HandleJobArrival(event.payload);
+        MaybeStartRound();
         break;
       case EventKind::kTaskCompletion:
-        HandleCompletion(event.time, static_cast<TaskId>(event.payload), event.epoch);
-        MaybeStartRound(event.time);
+        HandleCompletion(static_cast<TaskId>(event.payload), event.epoch);
+        MaybeStartRound();
         break;
       case EventKind::kApplyRound:
-        HandleApplyRound(event.time);
+        HandleApplyRound();
         break;
       case EventKind::kRoundTimer:
         timer_scheduled_ = false;
-        MaybeStartRound(event.time);
+        MaybeStartRound();
         break;
       case EventKind::kFault:
-        HandleFault(event.time, event.payload);
-        MaybeStartRound(event.time);
+        HandleFault(event.payload);
+        MaybeStartRound();
         break;
       case EventKind::kFaultResubmit:
-        HandleFaultResubmit(event.time, event.payload);
-        MaybeStartRound(event.time);
+        HandleFaultResubmit(event.payload);
+        MaybeStartRound();
         break;
     }
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/base/metrics.h"
+#include "src/base/service_clock.h"
 #include "src/core/scheduler.h"
 #include "src/sim/block_store.h"
 #include "src/sim/fault_injector.h"
@@ -87,6 +88,12 @@ class ClusterSimulator {
   // Runs the simulation to completion and returns the collected metrics.
   SimulationMetrics Run();
 
+  // The simulation's time source: Run() advances it to each event's
+  // timestamp before dispatching, and every handler reads it instead of
+  // threading a `now` parameter through the call chain. Shared with any
+  // component (e.g. a SchedulerService) that needs the simulated time.
+  const ManualServiceClock& clock() const { return clock_; }
+
  private:
   enum class EventKind : uint8_t {
     kApplyRound = 0,  // lowest value = processed first at equal times
@@ -115,18 +122,19 @@ class ClusterSimulator {
   };
 
   void Push(SimTime time, EventKind kind, uint64_t payload = 0, uint64_t epoch = 0);
-  void HandleJobArrival(SimTime now, size_t job_index);
-  void HandleCompletion(SimTime now, TaskId task, uint64_t epoch);
-  void HandleApplyRound(SimTime now);
-  void MaybeStartRound(SimTime now);
-  void HandleFault(SimTime now, size_t index);
-  void HandleFaultResubmit(SimTime now, size_t index);
-  void CrashMachine(MachineId machine, SimTime now);
+  void HandleJobArrival(size_t job_index);
+  void HandleCompletion(TaskId task, uint64_t epoch);
+  void HandleApplyRound();
+  void MaybeStartRound();
+  void HandleFault(size_t index);
+  void HandleFaultResubmit(size_t index);
+  void CrashMachine(MachineId machine);
 
   FirmamentScheduler* scheduler_;
   ClusterState* cluster_;
   BlockStore* block_store_;
   SimulatorParams params_;
+  ManualServiceClock clock_;
 
   std::vector<TraceJobSpec> trace_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;

@@ -35,8 +35,29 @@ RacingSolver::RacingSolver(RacingSolverOptions options)
       cost_scaling_(MakeCostScalingOptions(options)) {}
 
 void RacingSolver::ResetState() {
+  CHECK(!async_in_flight_);
   relaxation_.ResetState();
   cost_scaling_.ResetState();
+}
+
+void RacingSolver::SolveAsync(FlowNetwork* network) {
+  CHECK(!async_in_flight_);
+  if (async_worker_ == nullptr) {
+    async_worker_ = std::make_unique<ThreadPool>(1);
+  }
+  async_in_flight_ = true;
+  async_ticket_ = async_worker_->Submit([this, network] { async_result_ = Solve(network); });
+}
+
+SolveStats RacingSolver::WaitSolve() {
+  CHECK(async_in_flight_);
+  async_ticket_.Wait();
+  async_in_flight_ = false;
+  return async_result_;
+}
+
+bool RacingSolver::async_solve_done() const {
+  return !async_in_flight_ || async_ticket_.Done();
 }
 
 SolveStats RacingSolver::Solve(FlowNetwork* network) {

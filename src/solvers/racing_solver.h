@@ -85,6 +85,21 @@ class RacingSolver {
   // calls warm-start from the previous round's state.
   SolveStats Solve(FlowNetwork* network);
 
+  // --- Async handoff (pipelined rounds) -----------------------------------
+  // SolveAsync dispatches Solve(network) onto a persistent dispatch worker
+  // and returns immediately; WaitSolve blocks for (and returns) the result.
+  // At most one async solve may be in flight, and until WaitSolve returns
+  // the caller must not touch the network — nor mutate anything the
+  // journal-patched solver views read (graph manager, policies). The
+  // dispatch worker is distinct from the race's cost-scaling worker: Solve
+  // itself submits the cost-scaling leg to that worker and waits on it, so
+  // running Solve *on* it would self-deadlock.
+  void SolveAsync(FlowNetwork* network);
+  SolveStats WaitSolve();
+  // True when no async solve is still running (poll site for pipelined
+  // loops deciding between further ingest and finishing the round).
+  bool async_solve_done() const;
+
   const RoundStats& last_round() const { return last_round_; }
   const RacingSolverOptions& options() const { return options_; }
 
@@ -115,6 +130,13 @@ class RacingSolver {
   // on the first kRace round so single-algorithm modes never hold a thread.
   std::unique_ptr<ThreadPool> worker_;
   size_t worker_spawns_ = 0;
+  // Persistent dispatch worker for SolveAsync; lazy so synchronous callers
+  // never hold the extra thread. async_result_ is written on the worker and
+  // read after the ticket's Wait/Done, which order the accesses.
+  std::unique_ptr<ThreadPool> async_worker_;
+  ThreadPool::Ticket async_ticket_;
+  SolveStats async_result_;
+  bool async_in_flight_ = false;
 };
 
 }  // namespace firmament

@@ -299,6 +299,164 @@ TEST(PhaseSplitRoundTest, MachineRemovedMidRoundDropsItsDeltas) {
   EXPECT_GT(scheduler.graph_manager().ValidateIntegrity(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Mid-round staging contract (scheduler.h): between StartRound and
+// ApplyRound the ClusterState half of every event applies eagerly while the
+// flow-graph half (and its policy hooks) stages; ApplyRound replays the
+// staged half after placement extraction, in arrival order.
+// ---------------------------------------------------------------------------
+
+TEST(MidRoundStagingTest, SubmitJobMidRoundStagesGraphHalf) {
+  auto stack = MakeStack(Policy::kLoadSpreading, 1, 2, 4);
+  stack->scheduler->SubmitJob(JobType::kBatch, 0,
+                              std::vector<TaskDescriptor>(4, TaskDescriptor{}), 0);
+  stack->scheduler->StartRound(kSec);
+  size_t nodes_before = stack->scheduler->graph_manager().num_task_nodes();
+
+  JobId job = stack->scheduler->SubmitJob(
+      JobType::kBatch, 0, std::vector<TaskDescriptor>(3, TaskDescriptor{}), kSec);
+  // Cluster half eager: ids minted, descriptors queryable.
+  ASSERT_EQ(stack->cluster.job(job).tasks.size(), 3u);
+  for (TaskId task : stack->cluster.job(job).tasks) {
+    EXPECT_EQ(stack->cluster.task(task).state, TaskState::kWaiting);
+    // Graph half staged: no node yet.
+    EXPECT_FALSE(stack->scheduler->graph_manager().HasTask(task));
+  }
+  EXPECT_EQ(stack->scheduler->graph_manager().num_task_nodes(), nodes_before);
+  EXPECT_EQ(stack->scheduler->staged_events(), 1u);
+
+  stack->scheduler->ApplyRound(kSec + 1000);
+  EXPECT_EQ(stack->scheduler->staged_events(), 0u);
+  for (TaskId task : stack->cluster.job(job).tasks) {
+    EXPECT_TRUE(stack->scheduler->graph_manager().HasTask(task)) << "replayed at ApplyRound";
+  }
+  // The replayed tasks schedule normally next round (8 slots, 7 tasks).
+  SchedulerRoundResult next = stack->scheduler->RunSchedulingRound(2 * kSec);
+  EXPECT_EQ(next.outcome, SolveOutcome::kOptimal);
+  EXPECT_EQ(stack->cluster.UsedSlots(), 7);
+  VerifyInvariants(stack.get(), "submit mid-round");
+}
+
+TEST(MidRoundStagingTest, CompleteTaskMidRoundStagesRemovalAndSkipsItsDeltas) {
+  auto stack = MakeStack(Policy::kLoadSpreading, 1, 2, 4);
+  stack->scheduler->SubmitJob(JobType::kBatch, 0,
+                              std::vector<TaskDescriptor>(4, TaskDescriptor{}), 0);
+  stack->scheduler->RunSchedulingRound(kSec);
+  TaskId victim = stack->cluster.LiveTasks().front();
+  ASSERT_EQ(stack->cluster.task(victim).state, TaskState::kRunning);
+
+  stack->scheduler->StartRound(2 * kSec);
+  stack->scheduler->CompleteTask(victim, 2 * kSec + 10);
+  // Cluster half eager (slot freed, state flipped); ForgetTask deferred
+  // with the graph removal, so the descriptor is still queryable.
+  ASSERT_TRUE(stack->cluster.HasTask(victim));
+  EXPECT_EQ(stack->cluster.task(victim).state, TaskState::kCompleted);
+  // Graph half staged: the node (and its solved flow) survive the round.
+  EXPECT_TRUE(stack->scheduler->graph_manager().HasTask(victim));
+  EXPECT_EQ(stack->scheduler->staged_events(), 1u);
+
+  SchedulerRoundResult result = stack->scheduler->ApplyRound(2 * kSec + 1000);
+  EXPECT_EQ(result.outcome, SolveOutcome::kOptimal);
+  // The completed task needed no action from the diff, and the replay
+  // removed both graph node and descriptor.
+  EXPECT_FALSE(stack->scheduler->graph_manager().HasTask(victim));
+  EXPECT_FALSE(stack->cluster.HasTask(victim));
+  EXPECT_EQ(stack->scheduler->staged_events(), 0u);
+  stack->scheduler->RunSchedulingRound(3 * kSec);
+  VerifyInvariants(stack.get(), "complete mid-round");
+}
+
+TEST(MidRoundStagingTest, RemoveMachineMidRoundDefersHookAndCallback) {
+  auto stack = MakeStack(Policy::kLoadSpreading, 1, 3, 2);
+  stack->scheduler->SubmitJob(JobType::kBatch, 0,
+                              std::vector<TaskDescriptor>(6, TaskDescriptor{}), 0);
+  stack->scheduler->RunSchedulingRound(kSec);
+  ASSERT_EQ(stack->cluster.UsedSlots(), 6);
+
+  stack->scheduler->StartRound(2 * kSec);
+  MachineId victim = 0;
+  bool notified = false;
+  FirmamentScheduler* scheduler = stack->scheduler.get();
+  stack->scheduler->RemoveMachine(victim, 2 * kSec, [&notified, scheduler, victim] {
+    notified = true;
+    // Ordering contract: by the time the caller's notification runs, the
+    // machine's graph node is gone (the policy hook has already read any
+    // locality state the callback is about to drop).
+    EXPECT_EQ(scheduler->graph_manager().NodeForMachine(victim), kInvalidNodeId);
+  });
+  // Cluster half eager: machine dead, its tasks evicted back to waiting.
+  EXPECT_FALSE(stack->cluster.machine(victim).alive);
+  // Graph half + caller notification deferred.
+  EXPECT_NE(stack->scheduler->graph_manager().NodeForMachine(victim), kInvalidNodeId);
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(stack->scheduler->staged_events(), 1u);
+
+  stack->scheduler->ApplyRound(2 * kSec + 1000);
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(stack->scheduler->graph_manager().NodeForMachine(victim), kInvalidNodeId);
+  stack->scheduler->RunSchedulingRound(3 * kSec);
+  EXPECT_EQ(stack->cluster.UsedSlots(), 4);  // 2 machines x 2 slots survive
+  VerifyInvariants(stack.get(), "remove mid-round");
+}
+
+TEST(MidRoundStagingTest, AddMachineMidRoundMintsIdEagerlyStagesNode) {
+  auto stack = MakeStack(Policy::kLoadSpreading, 1, 1, 2);
+  stack->scheduler->SubmitJob(JobType::kBatch, 0,
+                              std::vector<TaskDescriptor>(4, TaskDescriptor{}), 0);
+  stack->scheduler->StartRound(kSec);
+
+  MachineId added = stack->scheduler->AddMachine(0, MachineSpec{.slots = 2});
+  // Cluster half eager: id minted, descriptor live.
+  ASSERT_NE(added, kInvalidMachineId);
+  EXPECT_TRUE(stack->cluster.machine(added).alive);
+  EXPECT_EQ(stack->cluster.num_machines(), 2u);
+  // Graph half staged: no node mid-round.
+  EXPECT_EQ(stack->scheduler->graph_manager().NodeForMachine(added), kInvalidNodeId);
+  EXPECT_EQ(stack->scheduler->staged_events(), 1u);
+
+  SchedulerRoundResult result = stack->scheduler->ApplyRound(kSec + 1000);
+  EXPECT_EQ(result.tasks_placed, 2u) << "round solved against the old capacity";
+  EXPECT_NE(stack->scheduler->graph_manager().NodeForMachine(added), kInvalidNodeId);
+  // The new capacity is schedulable from the next round on.
+  stack->scheduler->RunSchedulingRound(2 * kSec);
+  EXPECT_EQ(stack->cluster.UsedSlots(), 4);
+  VerifyInvariants(stack.get(), "add mid-round");
+}
+
+// The async round (StartRoundAsync + ApplyRound) must produce exactly what
+// the synchronous phase split produces for the same event script — the
+// solve merely moved to the solver's dispatch worker.
+TEST(PipelinedRoundTest, AsyncRoundMatchesSyncRound) {
+  auto run = [](bool async) {
+    auto stack = MakeStack(Policy::kQuincy, 2, 3, 2, SolverMode::kCostScalingOnly);
+    stack->scheduler->SubmitJob(JobType::kBatch, 0,
+                                std::vector<TaskDescriptor>(7, TaskDescriptor{}), 0);
+    if (async) {
+      stack->scheduler->StartRoundAsync(kSec);
+    } else {
+      stack->scheduler->StartRound(kSec);
+    }
+    // Mid-round traffic, staged identically in both variants.
+    stack->scheduler->SubmitJob(JobType::kBatch, 0,
+                                std::vector<TaskDescriptor>(2, TaskDescriptor{}), kSec + 1);
+    SchedulerRoundResult round1 = stack->scheduler->ApplyRound(kSec + 1000);
+    SchedulerRoundResult round2 = stack->scheduler->RunSchedulingRound(2 * kSec);
+    VerifyInvariants(stack.get(), async ? "async round" : "sync round");
+    std::vector<SchedulingDelta> deltas = round1.deltas;
+    deltas.insert(deltas.end(), round2.deltas.begin(), round2.deltas.end());
+    return deltas;
+  };
+  std::vector<SchedulingDelta> sync_deltas = run(false);
+  std::vector<SchedulingDelta> async_deltas = run(true);
+  ASSERT_EQ(sync_deltas.size(), async_deltas.size());
+  for (size_t i = 0; i < sync_deltas.size(); ++i) {
+    EXPECT_EQ(sync_deltas[i].kind, async_deltas[i].kind) << "delta " << i;
+    EXPECT_EQ(sync_deltas[i].task, async_deltas[i].task) << "delta " << i;
+    EXPECT_EQ(sync_deltas[i].from, async_deltas[i].from) << "delta " << i;
+    EXPECT_EQ(sync_deltas[i].to, async_deltas[i].to) << "delta " << i;
+  }
+}
+
 // Stale cluster events — duplicated or targeting finished entities — must
 // be ignored and counted, never CHECK-abort (see the idempotency contract
 // in scheduler.h).

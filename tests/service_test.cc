@@ -1,0 +1,339 @@
+// Scheduler-service tests: the pipelined round loop must place exactly what
+// the serialized loop places for the same admitted event stream
+// (byte-identical deltas), and the producer API must survive concurrent
+// multi-threaded use without losing, duplicating, or misaccounting events —
+// the latter is what the TSan leg of scripts/check.sh pins down.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/service_clock.h"
+#include "src/core/load_spreading_policy.h"
+#include "src/core/quincy_policy.h"
+#include "src/core/scheduler.h"
+#include "src/service/scheduler_service.h"
+#include "src/solvers/solution_checker.h"
+
+namespace firmament {
+namespace {
+
+constexpr SimTime kSec = kMicrosPerSecond;
+
+std::vector<TaskDescriptor> MakeTasks(size_t n, SimTime runtime = 60 * kSec) {
+  std::vector<TaskDescriptor> tasks(n);
+  for (TaskDescriptor& task : tasks) {
+    task.runtime = runtime;
+  }
+  return tasks;
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined vs serialized equivalence (the acceptance property): same event
+// stream, batch latency 0, deterministic solver -> byte-identical delta
+// streams and final placements. The pipelined run must also demonstrably
+// ingest events while a solve is in flight.
+// ---------------------------------------------------------------------------
+
+struct RoundLog {
+  std::vector<SchedulingDelta> deltas;
+  SolveOutcome outcome = SolveOutcome::kOptimal;
+};
+
+struct DriveResult {
+  std::vector<RoundLog> rounds;
+  // (task, machine) for every live task, sorted by id; waiting tasks carry
+  // kInvalidMachineId.
+  std::vector<std::pair<TaskId, MachineId>> final_placements;
+  ServiceCounters counters;
+};
+
+// Replays a fixed scripted load through a manually pumped service. The
+// script interleaves submits, duplicate completions, and a machine removal,
+// and in each phase sends part of the traffic *after* the round started —
+// mid-solve in pipelined mode, next-batch in serialized mode. The staging
+// contract makes both equivalent.
+DriveResult DriveScriptedLoad(bool pipelined) {
+  ClusterState cluster;
+  QuincyPolicy policy(&cluster, nullptr);
+  FirmamentSchedulerOptions scheduler_options;
+  scheduler_options.solver.mode = SolverMode::kCostScalingOnly;  // deterministic
+  FirmamentScheduler scheduler(&cluster, &policy, scheduler_options);
+  ManualServiceClock clock;
+  SchedulerServiceOptions options;
+  options.pipeline = pipelined;
+  // One shard = total FIFO admission order, so task ids mint in submission
+  // order in both modes.
+  options.admission.queue_shards = 1;
+  options.admission.max_batch_latency_us = 0;
+  SchedulerService service(&scheduler, &clock, options);
+
+  DriveResult result;
+  service.set_on_round([&result](const SchedulerRoundResult& round) {
+    result.rounds.push_back(RoundLog{round.deltas, round.outcome});
+  });
+
+  std::vector<MachineId> machines;
+  for (int r = 0; r < 2; ++r) {
+    RackId rack = cluster.AddRack();
+    for (int m = 0; m < 3; ++m) {
+      machines.push_back(service.AddMachine(rack, MachineSpec{.slots = 2}));
+    }
+  }
+
+  // Phase 1 @1s: 6 tasks pre-round, 3 tasks once the round is in flight.
+  clock.AdvanceTo(kSec);
+  service.Submit(JobType::kBatch, 0, MakeTasks(6));
+  service.Pump();
+  service.Submit(JobType::kBatch, 0, MakeTasks(3));
+  if (pipelined) {
+    service.Pump();  // ingests the 3-task job mid-solve, finishes the round
+  }
+
+  // Phase 2 @2s: duplicate completion, a real completion, a machine crash,
+  // and more load — then a mid-round job again.
+  clock.AdvanceTo(2 * kSec);
+  std::vector<TaskId> running;
+  for (TaskId task : cluster.LiveTasks()) {
+    if (cluster.task(task).state == TaskState::kRunning) {
+      running.push_back(task);
+    }
+  }
+  std::sort(running.begin(), running.end());
+  EXPECT_GE(running.size(), 2u);
+  service.Complete(running[0]);
+  service.Complete(running[0]);  // duplicate: must be ignored, not fatal
+  service.Complete(running[1]);
+  service.RemoveMachine(machines.front());
+  service.Submit(JobType::kBatch, 0, MakeTasks(2));
+  service.Pump();
+  service.Submit(JobType::kBatch, 0, MakeTasks(2));
+  if (pipelined) {
+    service.Pump();
+  }
+
+  // Flush @3s until the service goes quiet.
+  clock.AdvanceTo(3 * kSec);
+  while (service.Pump()) {
+  }
+
+  std::vector<TaskId> live = cluster.LiveTasks();
+  std::sort(live.begin(), live.end());
+  for (TaskId task : live) {
+    result.final_placements.emplace_back(task, cluster.task(task).machine);
+  }
+  result.counters = service.counters();
+
+  // Sanity on either mode: capacity respected, flow §4-optimal.
+  for (const MachineDescriptor& machine : cluster.machines()) {
+    if (machine.alive) {
+      EXPECT_LE(machine.running_tasks, machine.spec.slots);
+    }
+  }
+  CheckResult check = CheckOptimality(*scheduler.graph_manager().network());
+  EXPECT_TRUE(check.ok()) << check.message;
+  return result;
+}
+
+TEST(ServiceEquivalenceTest, PipelinedMatchesSerializedByteForByte) {
+  DriveResult serialized = DriveScriptedLoad(/*pipelined=*/false);
+  DriveResult pipelined = DriveScriptedLoad(/*pipelined=*/true);
+
+  ASSERT_EQ(serialized.rounds.size(), pipelined.rounds.size());
+  for (size_t r = 0; r < serialized.rounds.size(); ++r) {
+    EXPECT_EQ(serialized.rounds[r].outcome, pipelined.rounds[r].outcome) << "round " << r;
+    ASSERT_EQ(serialized.rounds[r].deltas.size(), pipelined.rounds[r].deltas.size())
+        << "round " << r;
+    for (size_t d = 0; d < serialized.rounds[r].deltas.size(); ++d) {
+      const SchedulingDelta& a = serialized.rounds[r].deltas[d];
+      const SchedulingDelta& b = pipelined.rounds[r].deltas[d];
+      EXPECT_EQ(a.kind, b.kind) << "round " << r << " delta " << d;
+      EXPECT_EQ(a.task, b.task) << "round " << r << " delta " << d;
+      EXPECT_EQ(a.from, b.from) << "round " << r << " delta " << d;
+      EXPECT_EQ(a.to, b.to) << "round " << r << " delta " << d;
+    }
+  }
+  EXPECT_EQ(serialized.final_placements, pipelined.final_placements);
+
+  // The pipelined run really overlapped: the mid-phase jobs were admitted
+  // while a solve was in flight (deterministic under manual pumping).
+  EXPECT_GT(pipelined.counters.events_ingested_during_solve, 0u);
+  EXPECT_EQ(serialized.counters.events_ingested_during_solve, 0u);
+
+  // Identical accounting across modes, duplicate completion ignored once.
+  for (const DriveResult* result : {&serialized, &pipelined}) {
+    EXPECT_EQ(result->counters.tasks_submitted, 13u);
+    EXPECT_EQ(result->counters.tasks_admitted, 13u);
+    EXPECT_EQ(result->counters.completions_submitted, 3u);
+    EXPECT_EQ(result->counters.completions_applied, 2u);
+    EXPECT_EQ(result->counters.completions_ignored, 1u);
+    EXPECT_EQ(result->counters.tasks_placed + result->counters.pending_first_placements,
+              result->counters.tasks_admitted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-producer fuzz (TSan target): N submitter threads, one machine-event
+// thread, and a completer feeding off the placement callback all hit the
+// producer API while the loop thread schedules. No event may be lost or
+// double-applied, and first placements must be exactly-once per task.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceFuzzTest, ConcurrentProducersLoseNothing) {
+  ClusterState cluster;
+  LoadSpreadingPolicy policy(&cluster);
+  FirmamentSchedulerOptions scheduler_options;
+  scheduler_options.solver.mode = SolverMode::kCostScalingOnly;
+  FirmamentScheduler scheduler(&cluster, &policy, scheduler_options);
+  WallServiceClock clock;
+  SchedulerServiceOptions options;
+  options.pipeline = true;
+  options.admission.queue_shards = 4;
+  options.admission.max_batch_tasks = 16;
+  options.admission.max_batch_latency_us = 200;
+  SchedulerService service(&scheduler, &clock, options);
+
+  // Placed tasks flow from the loop thread (callback) to the completer.
+  std::mutex placed_mutex;
+  std::deque<TaskId> placed_queue;
+  service.set_on_placed([&](TaskId task, MachineId, SimTime) {
+    std::unique_lock<std::mutex> lock(placed_mutex);
+    placed_queue.push_back(task);
+  });
+
+  RackId rack0 = cluster.AddRack();
+  RackId rack1 = cluster.AddRack();
+  size_t bootstrap_adds = 0;
+  std::vector<MachineId> machines;
+  for (int m = 0; m < 4; ++m) {
+    machines.push_back(service.AddMachine(m % 2 ? rack1 : rack0, MachineSpec{.slots = 4}));
+    ++bootstrap_adds;
+  }
+  service.Start();
+
+  constexpr int kSubmitters = 3;
+  constexpr int kJobsPerSubmitter = 8;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&service, s] {
+      for (int j = 0; j < kJobsPerSubmitter; ++j) {
+        service.Submit(JobType::kBatch, s, MakeTasks(1 + (s + j) % 3, kSec / 100));
+        std::this_thread::sleep_for(std::chrono::microseconds(50 * (s + 1)));
+      }
+    });
+  }
+  std::thread machine_thread([&service, &machines, rack0] {
+    for (int i = 0; i < 3; ++i) {
+      // Blocking add: the id comes back minted by the loop thread.
+      MachineId added = service.AddMachine(rack0, MachineSpec{.slots = 2});
+      EXPECT_NE(added, kInvalidMachineId);
+      machines.push_back(added);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      service.RemoveMachine(machines[i]);  // crash an original machine
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::atomic<bool> completer_stop{false};
+  uint64_t duplicate_completes = 0;
+  std::thread completer([&] {
+    uint64_t seen = 0;
+    while (!completer_stop.load(std::memory_order_acquire)) {
+      TaskId task = kInvalidTaskId;
+      {
+        std::unique_lock<std::mutex> lock(placed_mutex);
+        if (!placed_queue.empty()) {
+          task = placed_queue.front();
+          placed_queue.pop_front();
+        }
+      }
+      if (task == kInvalidTaskId) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      service.Complete(task);
+      if (++seen % 3 == 0) {
+        service.Complete(task);  // deliberate duplicate
+        ++duplicate_completes;
+      }
+    }
+  });
+
+  for (std::thread& thread : submitters) {
+    thread.join();
+  }
+  machine_thread.join();
+  // Let the completer chew on the tail of placements briefly, then stop it
+  // before Stop() so no completions are enqueued after the final drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  completer_stop.store(true, std::memory_order_release);
+  completer.join();
+  service.Stop();
+
+  ServiceCounters counters = service.counters();
+  // Conservation: every submitted event was admitted exactly once.
+  EXPECT_EQ(counters.tasks_admitted, counters.tasks_submitted);
+  EXPECT_EQ(counters.events_admitted,
+            counters.jobs_submitted + counters.completions_submitted +
+                counters.machine_removals_submitted +
+                (counters.machine_adds_submitted - bootstrap_adds));
+  EXPECT_EQ(counters.completions_applied + counters.completions_ignored,
+            counters.completions_submitted);
+  // The service's stale-completion accounting agrees with the scheduler's
+  // idempotency counters (same predicate, evaluated on the same thread).
+  EXPECT_EQ(counters.completions_ignored,
+            scheduler.event_counters().ignored_task_completions);
+  EXPECT_GE(counters.completions_ignored, duplicate_completes);
+  // Exactly-once first placements: every admitted task either placed once
+  // or is still pending.
+  EXPECT_EQ(counters.tasks_placed + counters.pending_first_placements,
+            counters.tasks_admitted);
+  EXPECT_EQ(counters.jobs_submitted, static_cast<uint64_t>(kSubmitters * kJobsPerSubmitter));
+
+  // Post-quiesce cluster sanity.
+  for (const MachineDescriptor& machine : cluster.machines()) {
+    if (machine.alive) {
+      EXPECT_LE(machine.running_tasks, machine.spec.slots);
+    }
+  }
+  CheckResult check = CheckOptimality(*scheduler.graph_manager().network());
+  EXPECT_TRUE(check.ok()) << check.message;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle: an idle service starts and stops cleanly; stopping with queued
+// work drains it.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceLifecycleTest, StopDrainsQueuedWork) {
+  ClusterState cluster;
+  LoadSpreadingPolicy policy(&cluster);
+  FirmamentSchedulerOptions scheduler_options;
+  scheduler_options.solver.mode = SolverMode::kCostScalingOnly;
+  FirmamentScheduler scheduler(&cluster, &policy, scheduler_options);
+  WallServiceClock clock;
+  SchedulerService service(&scheduler, &clock, SchedulerServiceOptions{});
+
+  RackId rack = cluster.AddRack();
+  service.AddMachine(rack, MachineSpec{.slots = 4});
+  // Queue before Start: admission happens once the loop runs (or at Stop).
+  service.Submit(JobType::kBatch, 0, MakeTasks(3));
+  service.Start();
+  service.Submit(JobType::kBatch, 0, MakeTasks(2));
+  service.Stop();
+
+  ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.tasks_admitted, 5u);
+  EXPECT_EQ(counters.tasks_placed, 4u);  // 4 slots
+  EXPECT_EQ(counters.pending_first_placements, 1u);
+  EXPECT_GE(counters.rounds, 1u);
+  EXPECT_EQ(cluster.UsedSlots(), 4);
+}
+
+}  // namespace
+}  // namespace firmament
