@@ -40,6 +40,12 @@ void SchedulerService::set_on_placed(
   on_placed_ = std::move(fn);
 }
 
+void SchedulerService::set_on_admitted(
+    std::function<void(uint64_t, JobId, const std::vector<TaskId>&)> fn) {
+  CHECK(!running_);
+  on_admitted_ = std::move(fn);
+}
+
 void SchedulerService::set_on_machine_removed(std::function<void(MachineId)> fn) {
   CHECK(!running_);
   on_machine_removed_ = std::move(fn);
@@ -67,14 +73,16 @@ uint64_t SchedulerService::Submit(JobType type, int32_t priority,
   CHECK(!tasks.empty());
   counts_.jobs_submitted.fetch_add(1, std::memory_order_relaxed);
   counts_.tasks_submitted.fetch_add(tasks.size(), std::memory_order_relaxed);
+  uint64_t seq = next_submit_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   ServiceEvent event;
   event.kind = ServiceEvent::Kind::kSubmitJob;
   event.enqueue_time = clock_->Now();
+  event.submit_seq = seq;
   event.type = type;
   event.priority = priority;
   event.tasks = std::move(tasks);
   Enqueue(std::move(event));
-  return counts_.jobs_submitted.load(std::memory_order_relaxed);
+  return seq;
 }
 
 void SchedulerService::Complete(TaskId task) {
@@ -91,7 +99,7 @@ MachineId SchedulerService::AddMachine(RackId rack, const MachineSpec& spec) {
   if (!running_) {
     // Bootstrap: the caller owns the loop's role; apply inline. The
     // scheduler stages the graph half itself if a manual round is open.
-    return scheduler_->AddMachine(rack, spec);
+    return scheduler_->AddMachine(ResolveRack(rack), spec);
   }
   // Ids are minted by the cluster on the loop thread; block for the
   // admission so the caller gets a real id to address later events to.
@@ -133,6 +141,9 @@ void SchedulerService::ApplyEvent(ServiceEvent& event) {
         }
       }
       counts_.tasks_admitted.fetch_add(desc.tasks.size(), std::memory_order_relaxed);
+      if (on_admitted_) {
+        on_admitted_(event.submit_seq, job, desc.tasks);
+      }
       break;
     }
     case ServiceEvent::Kind::kCompleteTask: {
@@ -145,7 +156,7 @@ void SchedulerService::ApplyEvent(ServiceEvent& event) {
       break;
     }
     case ServiceEvent::Kind::kAddMachine: {
-      MachineId id = scheduler_->AddMachine(event.rack, event.spec);
+      MachineId id = scheduler_->AddMachine(ResolveRack(event.rack), event.spec);
       std::unique_lock<std::mutex> lock(event.pending_add->mutex);
       event.pending_add->id = id;
       event.pending_add->done = true;
@@ -163,6 +174,18 @@ void SchedulerService::ApplyEvent(ServiceEvent& event) {
     }
   }
   counts_.events_admitted.fetch_add(1, std::memory_order_relaxed);
+}
+
+RackId SchedulerService::ResolveRack(RackId rack) {
+  if (rack != kInvalidRackId) {
+    return rack;
+  }
+  if (auto_rack_ == kInvalidRackId || auto_rack_fill_ >= options_.machines_per_rack) {
+    auto_rack_ = scheduler_->cluster().AddRack();
+    auto_rack_fill_ = 0;
+  }
+  ++auto_rack_fill_;
+  return auto_rack_;
 }
 
 SimTime SchedulerService::OldestEnqueue() {

@@ -55,6 +55,10 @@ struct SchedulerServiceOptions {
   // are identical in both modes for the same admitted event sequence (the
   // acceptance bench checks byte-for-byte); only the overlap differs.
   bool pipeline = true;
+  // Rack fan-out for AddMachine(kInvalidRackId, ...): machines that arrive
+  // without topology information (e.g. from a trace, which has none) are
+  // grouped into racks of this size, minted on the loop thread.
+  int machines_per_rack = 48;
 };
 
 // Monotonic event/round counters; returned by value as a consistent-enough
@@ -97,6 +101,13 @@ class SchedulerService {
   // Fired for every kPlace delta — first placements and re-placements after
   // eviction. The cluster may be read from inside (the loop thread owns it).
   void set_on_placed(std::function<void(TaskId task, MachineId machine, SimTime now)> fn);
+  // Fired when a submission is admitted and its ids exist: `seq` is the
+  // handle Submit() returned, `tasks` the minted ids in descriptor order.
+  // This is how an async producer (e.g. the trace replayer, which must
+  // address later trace events to these tasks) learns the ids the loop
+  // thread minted for it.
+  void set_on_admitted(
+      std::function<void(uint64_t seq, JobId job, const std::vector<TaskId>& tasks)> fn);
   // Forwarded as the scheduler's on_removed callback (locality stores; see
   // the ordering contract on FirmamentScheduler::RemoveMachine).
   void set_on_machine_removed(std::function<void(MachineId machine)> fn);
@@ -106,7 +117,8 @@ class SchedulerService {
 
   // --- Producer API (thread-safe, non-blocking except AddMachine) ----------
   // Enqueues a job; task ids are minted at admission. Returns the
-  // submission sequence number (not a JobId — ids don't exist yet).
+  // submission sequence number (not a JobId — ids don't exist yet; the
+  // on_admitted callback reports them against this handle).
   uint64_t Submit(JobType type, int32_t priority, std::vector<TaskDescriptor> tasks);
   // Enqueues a task completion. Stale completions (task preempted or gone
   // by apply time) are dropped by the scheduler's idempotency contract.
@@ -114,7 +126,9 @@ class SchedulerService {
   // Adds a machine and returns its id. Inline (bootstrap) while the loop
   // is not running; once it runs, the call blocks until the loop admits the
   // event — ids are minted by the cluster on the loop thread. Must not race
-  // Stop() from another thread.
+  // Stop() from another thread. Passing kInvalidRackId assigns the machine
+  // to a service-managed rack (filled to options.machines_per_rack, then a
+  // new one is minted) — for producers with no topology information.
   MachineId AddMachine(RackId rack, const MachineSpec& spec);
   // Enqueues a machine removal (crash/decommission).
   void RemoveMachine(MachineId machine);
@@ -159,6 +173,7 @@ class SchedulerService {
     enum class Kind : uint8_t { kSubmitJob, kCompleteTask, kAddMachine, kRemoveMachine };
     Kind kind = Kind::kSubmitJob;
     SimTime enqueue_time = 0;
+    uint64_t submit_seq = 0;
     JobType type = JobType::kBatch;
     int32_t priority = 0;
     std::vector<TaskDescriptor> tasks;
@@ -177,6 +192,9 @@ class SchedulerService {
   void Enqueue(ServiceEvent event);
   // Applies one admitted event to the scheduler (loop thread only).
   void ApplyEvent(ServiceEvent& event);
+  // Maps kInvalidRackId to the current service-managed rack, minting a new
+  // one every machines_per_rack machines (loop thread / bootstrap only).
+  RackId ResolveRack(RackId rack);
   // Checks the admission policy and, when due (or `force`), pops and
   // applies up to max_batch_tasks queued tasks. Returns events applied.
   size_t DrainAdmission(bool force);
@@ -195,8 +213,15 @@ class SchedulerService {
   SchedulerServiceOptions options_;
 
   std::function<void(TaskId, MachineId, SimTime)> on_placed_;
+  std::function<void(uint64_t, JobId, const std::vector<TaskId>&)> on_admitted_;
   std::function<void(MachineId)> on_machine_removed_;
   std::function<void(const SchedulerRoundResult&)> on_round_;
+
+  std::atomic<uint64_t> next_submit_seq_{0};
+  // Auto-rack state for topology-less AddMachine calls (loop thread only;
+  // the bootstrap path runs before the loop exists).
+  RackId auto_rack_ = kInvalidRackId;
+  int auto_rack_fill_ = 0;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> next_shard_{0};

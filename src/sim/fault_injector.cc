@@ -37,16 +37,7 @@ SimTime FaultInjector::PickTimeIn(SimTime lo, SimTime hi) {
 }
 
 SimTime FaultInjector::BackoffDelay(int attempt) const {
-  if (attempt < 1) {
-    attempt = 1;
-  }
-  // Shift with overflow protection: past ~63 doublings everything caps.
-  int doublings = attempt - 1;
-  if (doublings > 40) {
-    return params_.backoff_cap_us;
-  }
-  SimTime delay = params_.backoff_base_us << doublings;
-  return std::min(delay, params_.backoff_cap_us);
+  return CappedExponentialBackoff(params_.backoff_base_us, params_.backoff_cap_us, attempt);
 }
 
 }  // namespace firmament

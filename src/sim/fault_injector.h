@@ -56,6 +56,22 @@ enum class FaultKind : uint8_t {
   kTaskKill,      // kill-and-resubmit of one running task
 };
 
+// Capped exponential backoff shared by every kill-and-resubmit path (the
+// injector, the open-loop driver's feedback helper, the trace replayer):
+// attempt n (>= 1) waits min(base * 2^(n-1), cap).
+inline SimTime CappedExponentialBackoff(SimTime base_us, SimTime cap_us, int attempt) {
+  if (attempt < 1) {
+    attempt = 1;
+  }
+  // Shift with overflow protection: past ~63 doublings everything caps.
+  int doublings = attempt - 1;
+  if (doublings > 40) {
+    return cap_us;
+  }
+  SimTime delay = base_us << doublings;
+  return delay < cap_us ? delay : cap_us;
+}
+
 struct FaultSpec {
   SimTime time = 0;
   FaultKind kind = FaultKind::kMachineCrash;

@@ -21,7 +21,11 @@ OpenLoopDriver::OpenLoopDriver(SchedulerService* service, OpenLoopParams params,
     : service_(service),
       params_(params),
       injector_(injector),
-      alive_machines_(std::move(machines)) {
+      alive_machines_(std::move(machines)),
+      feedback_(injector != nullptr ? injector->params().backoff_base_us
+                                    : FaultInjectorParams{}.backoff_base_us,
+                injector != nullptr ? injector->params().backoff_cap_us
+                                    : FaultInjectorParams{}.backoff_cap_us) {
   CHECK_GT(params_.time_scale, 0.0);
   service_->set_on_placed(
       [this](TaskId task, MachineId machine, SimTime now) { OnPlaced(task, machine, now); });
@@ -31,16 +35,12 @@ void OpenLoopDriver::OnPlaced(TaskId task, MachineId machine, SimTime now) {
   (void)machine;
   // Loop-thread context: the cluster is safely readable here.
   const TaskDescriptor& desc = service_->scheduler().cluster().task(task);
-  RunningInfo info;
+  ReplayFeedback::TaskInfo info;
   info.runtime = desc.runtime;
   info.input_bytes = desc.input_size_bytes;
   info.bandwidth_mbps = desc.bandwidth_request_mbps;
-  std::unique_lock<std::mutex> lock(mutex_);
-  running_[task] = info;
-  PendingCompletion completion;
-  completion.due = now + info.runtime;
-  completion.task = task;
-  completions_.push(completion);
+  feedback_.OnPlaced(task, info);
+  feedback_.ScheduleCompletion(task, now + info.runtime);
 }
 
 void OpenLoopDriver::SleepUntil(SimTime target) {
@@ -53,20 +53,6 @@ void OpenLoopDriver::SleepUntil(SimTime target) {
         1, static_cast<uint64_t>(static_cast<double>(target - now) / params_.time_scale)));
     std::this_thread::sleep_for(std::min<std::chrono::microseconds>(wall, kMaxSleep));
   }
-}
-
-bool OpenLoopDriver::PopDueCompletion(SimTime upto, TaskId* task) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (!completions_.empty() && completions_.top().due <= upto) {
-    TaskId candidate = completions_.top().task;
-    completions_.pop();
-    if (running_.erase(candidate) > 0) {
-      *task = candidate;
-      return true;
-    }
-    // Stale entry: the task was killed or already force-completed.
-  }
-  return false;
 }
 
 OpenLoopReport OpenLoopDriver::Replay(const std::vector<TraceJobSpec>& jobs,
@@ -82,16 +68,14 @@ OpenLoopReport OpenLoopDriver::Replay(const std::vector<TraceJobSpec>& jobs,
         fault_index < faults.size() && faults[fault_index].time <= params_.horizon
             ? faults[fault_index].time
             : kNone;
-    SimTime next_completion = kNone;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (!completions_.empty() && completions_.top().due <= params_.horizon) {
-        next_completion = completions_.top().due;
-      }
+    SimTime next_completion = feedback_.NextCompletionDue();
+    if (next_completion > params_.horizon) {
+      next_completion = kNone;
     }
-    SimTime next_resubmit =
-        !resubmits_.empty() && resubmits_.top().due <= params_.horizon ? resubmits_.top().due
-                                                                       : kNone;
+    SimTime next_resubmit = feedback_.NextResubmitDue();
+    if (next_resubmit > params_.horizon) {
+      next_resubmit = kNone;
+    }
     SimTime next = std::min(std::min(next_job, next_fault),
                             std::min(next_completion, next_resubmit));
     if (next == kNone) {
@@ -103,19 +87,21 @@ OpenLoopReport OpenLoopDriver::Replay(const std::vector<TraceJobSpec>& jobs,
     // arrivals that follow), then arrivals, then faults.
     if (next_completion == next) {
       TaskId task = kInvalidTaskId;
-      while (PopDueCompletion(next, &task)) {
+      while (feedback_.PopDueCompletion(next, &task)) {
         service_->Complete(task);
         ++report_.completions_delivered;
       }
       continue;
     }
     if (next_resubmit == next) {
-      Resubmit resubmit = resubmits_.top();
-      resubmits_.pop();
+      ReplayFeedback::TaskInfo info;
+      if (!feedback_.PopDueResubmit(next, &info)) {
+        continue;
+      }
       TaskDescriptor task;
-      task.runtime = resubmit.info.runtime;
-      task.input_size_bytes = resubmit.info.input_bytes;
-      task.bandwidth_request_mbps = resubmit.info.bandwidth_mbps;
+      task.runtime = info.runtime;
+      task.input_size_bytes = info.input_bytes;
+      task.bandwidth_request_mbps = info.bandwidth_mbps;
       std::vector<TaskDescriptor> tasks;
       tasks.push_back(task);
       service_->Submit(JobType::kBatch, 0, std::move(tasks));
@@ -157,28 +143,13 @@ OpenLoopReport OpenLoopDriver::Replay(const std::vector<TraceJobSpec>& jobs,
     // Task kill: tear the attempt down via Complete (as the simulator
     // does) and resubmit a fresh single-task job after backoff.
     TaskId victim = kInvalidTaskId;
-    RunningInfo info;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (running_.empty()) {
-        continue;
-      }
-      std::vector<TaskId> candidates;
-      candidates.reserve(running_.size());
-      for (const auto& [task, unused] : running_) {
-        candidates.push_back(task);
-      }
-      std::sort(candidates.begin(), candidates.end());  // deterministic pick
-      victim = candidates[injector_->PickIndex(candidates.size())];
-      info = running_[victim];
-      running_.erase(victim);
+    ReplayFeedback::TaskInfo info;
+    if (!feedback_.KillRandomVictim(injector_, &victim, &info)) {
+      continue;
     }
     service_->Complete(victim);
     ++report_.tasks_killed;
-    Resubmit resubmit;
-    resubmit.due = next + injector_->BackoffDelay(1);
-    resubmit.info = info;
-    resubmits_.push(resubmit);
+    feedback_.QueueResubmit(next, info);
   }
   return report_;
 }

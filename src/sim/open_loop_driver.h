@@ -7,26 +7,25 @@
 // submit-to-placement latency instead of as back-pressure on the generator
 // — the production-traffic shape none of the paper's figures measure.
 //
-// The loop is closed on completions: the driver registers the service's
-// placement callback, schedules each placed task's completion at
-// place_time + runtime on an internal heap, and delivers Complete() calls
-// when they come due. Simplifications versus the discrete-event simulator
-// (documented, deliberate — this is a load generator, not a fidelity
-// model): migrations do not restart a task's work, and a preempted task's
-// stale completion may fire while it waits (the scheduler's idempotency
-// contract drops it; the task completes after its next placement).
+// The loop is closed on completions via the shared ReplayFeedback helper:
+// the driver registers the service's placement callback, schedules each
+// placed task's completion at place_time + runtime, and delivers Complete()
+// calls when they come due; kills resubmit after the shared capped backoff.
+// Simplifications versus the discrete-event simulator (documented,
+// deliberate — this is a load generator, not a fidelity model): migrations
+// do not restart a task's work, and a preempted task's stale completion may
+// fire while it waits (the scheduler's idempotency contract drops it; the
+// task completes after its next placement).
 
 #ifndef SRC_SIM_OPEN_LOOP_DRIVER_H_
 #define SRC_SIM_OPEN_LOOP_DRIVER_H_
 
 #include <cstdint>
-#include <mutex>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/service/scheduler_service.h"
 #include "src/sim/fault_injector.h"
+#include "src/sim/replay_feedback.h"
 #include "src/sim/trace_generator.h"
 
 namespace firmament {
@@ -69,27 +68,8 @@ class OpenLoopDriver {
                         const std::vector<FaultSpec>& faults);
 
  private:
-  struct PendingCompletion {
-    SimTime due = 0;
-    TaskId task = kInvalidTaskId;
-    bool operator>(const PendingCompletion& other) const { return due > other.due; }
-  };
-  struct RunningInfo {
-    SimTime runtime = 0;
-    int64_t input_bytes = 0;
-    int64_t bandwidth_mbps = 0;
-  };
-  struct Resubmit {
-    SimTime due = 0;
-    RunningInfo info;
-    bool operator>(const Resubmit& other) const { return due > other.due; }
-  };
-
   void OnPlaced(TaskId task, MachineId machine, SimTime now);
   void SleepUntil(SimTime target);
-  // Pops the next due completion under the lock; false if none due by
-  // `upto`.
-  bool PopDueCompletion(SimTime upto, TaskId* task);
 
   SchedulerService* service_;
   OpenLoopParams params_;
@@ -97,12 +77,7 @@ class OpenLoopDriver {
   std::vector<MachineId> alive_machines_;
 
   // Fed by OnPlaced on the service loop thread, drained by Replay.
-  std::mutex mutex_;
-  std::priority_queue<PendingCompletion, std::vector<PendingCompletion>, std::greater<>>
-      completions_;
-  std::unordered_map<TaskId, RunningInfo> running_;
-
-  std::priority_queue<Resubmit, std::vector<Resubmit>, std::greater<>> resubmits_;
+  ReplayFeedback feedback_;
   OpenLoopReport report_;
 };
 

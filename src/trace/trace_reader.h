@@ -1,0 +1,128 @@
+// Streaming parsers for Google-cluster-trace-format CSV tables.
+//
+// Three layers, each O(live state) in memory:
+//  * LineChunkReader — reads a file in fixed-size chunks and yields lines;
+//    the only buffering is the unconsumed chunk tail plus one partial line.
+//  * TraceTableReader — parses one table's lines into TraceEvents, skipping
+//    (and counting, never CHECK-aborting on) malformed lines, unknown event
+//    codes, and timestamp regressions, so a corrupt or truncated trace file
+//    degrades into structured error counters instead of taking the replay
+//    down.
+//  * MergedTraceStream — k-way merges the per-table streams into one
+//    time-ordered TraceEvent stream with exactly one lookahead event per
+//    table (machine events win timestamp ties; see TraceEventOrder).
+//
+// Column layouts follow the clusterdata-2011 schema:
+//  task_events:    time, missing-info, job id, task index, machine id,
+//                  event type, user, scheduling class, priority,
+//                  cpu request, ram request, disk request, constraint
+//  machine_events: time, machine id, event type, platform id,
+//                  cpu capacity, ram capacity
+// Trailing columns may be absent and any field may be empty (parsed as 0);
+// the required prefix is through "event type".
+
+#ifndef SRC_TRACE_TRACE_READER_H_
+#define SRC_TRACE_TRACE_READER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+
+namespace firmament {
+
+class LineChunkReader {
+ public:
+  explicit LineChunkReader(const std::string& path, size_t chunk_bytes = 64 * 1024);
+  ~LineChunkReader();
+
+  LineChunkReader(const LineChunkReader&) = delete;
+  LineChunkReader& operator=(const LineChunkReader&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  // Yields the next newline-terminated line (without the terminator); the
+  // view stays valid until the next call. Returns false at end of input. A
+  // final unterminated line is treated as a truncated record — counted via
+  // truncated_tail(), not returned — because a cleanly written table always
+  // ends in a newline and a missing one means the file was cut mid-write.
+  bool NextLine(std::string_view* line);
+
+  bool truncated_tail() const { return truncated_tail_; }
+  uint64_t bytes_consumed() const { return bytes_consumed_; }
+  // High-water of the internal buffer: bounded by chunk size + the longest
+  // line, independent of file size.
+  size_t max_buffered_bytes() const { return max_buffered_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  size_t chunk_bytes_;
+  std::string buffer_;  // unconsumed bytes; [pos_, buffer_.size()) is live
+  size_t pos_ = 0;
+  bool eof_ = false;
+  bool truncated_tail_ = false;
+  uint64_t bytes_consumed_ = 0;
+  size_t max_buffered_ = 0;
+};
+
+class TraceTableReader {
+ public:
+  TraceTableReader(TraceTable table, const std::string& path,
+                   size_t chunk_bytes = 64 * 1024);
+
+  TraceTableReader(const TraceTableReader&) = delete;
+  TraceTableReader& operator=(const TraceTableReader&) = delete;
+
+  bool ok() const { return reader_.ok(); }
+  TraceTable table() const { return table_; }
+
+  // Advances to the next well-formed, in-order event; false at end of
+  // input. Rejected lines are counted in stats() and skipped.
+  bool Next(TraceEvent* event);
+
+  // Final after the stream is exhausted (truncation is only detectable at
+  // EOF); counters are live before that.
+  const TraceParseStats& stats() const;
+
+ private:
+  bool ParseLine(std::string_view line, TraceEvent* event);
+
+  TraceTable table_;
+  LineChunkReader reader_;
+  mutable TraceParseStats stats_;
+  SimTime last_time_ = 0;
+  bool saw_event_ = false;
+};
+
+class MergedTraceStream {
+ public:
+  // Readers must outlive the stream. Timestamp ties resolve machine-table
+  // first, then reader order (stable within a table).
+  explicit MergedTraceStream(std::vector<TraceTableReader*> readers);
+
+  MergedTraceStream(const MergedTraceStream&) = delete;
+  MergedTraceStream& operator=(const MergedTraceStream&) = delete;
+
+  // Next event in canonical order; false once every table is exhausted.
+  bool Next(TraceEvent* event);
+
+  // Aggregated parse counters across all tables (complete once Next has
+  // returned false).
+  TraceParseStats stats() const;
+
+ private:
+  struct Head {
+    TraceEvent event;
+    bool valid = false;
+  };
+
+  std::vector<TraceTableReader*> readers_;
+  std::vector<Head> heads_;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_TRACE_TRACE_READER_H_

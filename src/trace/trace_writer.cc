@@ -1,0 +1,43 @@
+#include "src/trace/trace_writer.h"
+
+#include "src/base/check.h"
+
+namespace firmament {
+
+TraceWriter::TraceWriter(TraceTable table, const std::string& path) : table_(table) {
+  file_ = std::fopen(path.c_str(), "wb");
+}
+
+TraceWriter::~TraceWriter() { Close(); }
+
+void TraceWriter::Write(const TraceEvent& event) {
+  CHECK(file_ != nullptr);
+  CHECK(event.table == table_);
+  if (table_ == TraceTable::kMachineEvents) {
+    // time, machine id, event type, platform id (blank), cpu, ram
+    std::fprintf(file_, "%llu,%llu,%d,,%.17g,%.17g\n",
+                 static_cast<unsigned long long>(event.time),
+                 static_cast<unsigned long long>(event.machine_id), event.code,
+                 event.cpu_capacity, event.ram_capacity);
+  } else {
+    // time, missing-info (blank), job id, task index, machine id, event
+    // type, user (blank), scheduling class, priority, cpu, ram, disk
+    // (blank), constraint (blank)
+    std::fprintf(file_, "%llu,,%llu,%u,%llu,%d,,%d,%d,%.17g,%.17g,,\n",
+                 static_cast<unsigned long long>(event.time),
+                 static_cast<unsigned long long>(event.job_id), event.task_index,
+                 static_cast<unsigned long long>(event.machine_id), event.code,
+                 event.scheduling_class, event.priority, event.cpu_request,
+                 event.ram_request);
+  }
+  ++events_written_;
+}
+
+void TraceWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace firmament

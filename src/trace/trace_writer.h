@@ -1,0 +1,42 @@
+// CSV serializer for Google-cluster-trace-format tables — the inverse of
+// TraceTableReader, used by the synthetic emitter so CI runs the full
+// serialize -> parse -> replay path. Column layouts match trace_reader.h;
+// floats are written with enough digits to round-trip bit-exactly.
+
+#ifndef SRC_TRACE_TRACE_WRITER_H_
+#define SRC_TRACE_TRACE_WRITER_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/trace/trace_event.h"
+
+namespace firmament {
+
+class TraceWriter {
+ public:
+  TraceWriter(TraceTable table, const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  // Serializes one row; the event's table must match the writer's.
+  void Write(const TraceEvent& event);
+
+  uint64_t events_written() const { return events_written_; }
+
+  // Flushes and closes; the destructor calls it if the caller did not.
+  void Close();
+
+ private:
+  TraceTable table_;
+  std::FILE* file_ = nullptr;
+  uint64_t events_written_ = 0;
+};
+
+}  // namespace firmament
+
+#endif  // SRC_TRACE_TRACE_WRITER_H_
