@@ -8,7 +8,15 @@
 // measured solver wall time to the simulated clock, so placement latency
 // includes time spent waiting for in-flight solver runs (Fig. 2b).
 
+// The templated series (fig14/templated_recurring) adds the placement-
+// template fast path to the same figure: a recurring job (same shape,
+// resubmitted after each completion) is placed by the full solver once,
+// then re-instantiated from the template cache in microseconds — the
+// per-job speedup over the solver path is gated at >= 10x in check.sh.
+
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "bench/bench_util.h"
 #include "src/sim/simulator.h"
@@ -63,6 +71,89 @@ void PlacementLatency(benchmark::State& state) {
   bench::ReportDistribution(state, firmament ? g_firmament : g_quincy);
 }
 
+// --- Placement templates: recurring-job per-job latency ---------------------
+
+std::vector<TaskDescriptor> RecurringJobTasks(int tasks) {
+  std::vector<TaskDescriptor> descriptors(tasks);
+  for (TaskDescriptor& task : descriptors) {
+    task.runtime = 300 * kMicrosPerSecond;
+  }
+  return descriptors;
+}
+
+void CompleteJob(bench::BenchEnv& env, JobId job, SimTime now) {
+  std::vector<TaskId> tasks = env.cluster().job(job).tasks;
+  for (TaskId task : tasks) {
+    env.scheduler().CompleteTask(task, now);
+  }
+}
+
+// Per-job wall microseconds of submit -> placed for `jobs` repetitions of
+// the same job shape through the full solver path.
+double SolverPerJobMicros(int machines, int job_tasks, int jobs) {
+  bench::BenchEnv env(bench::PolicyKind::kLoadSpreading, machines, 12);
+  SimTime now = 0;
+  double total_us = 0;
+  for (int j = 0; j < jobs; ++j) {
+    auto start = std::chrono::steady_clock::now();
+    JobId job = env.scheduler().SubmitJob(JobType::kBatch, 0, RecurringJobTasks(job_tasks), now);
+    env.scheduler().RunSchedulingRound(now);
+    total_us += std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                          start)
+                    .count();
+    CHECK_EQ(env.cluster().UsedSlots(), job_tasks);
+    CompleteJob(env, job, now);
+    now += kMicrosPerSecond;
+  }
+  return total_us / jobs;
+}
+
+// Same shape through the template fast path: the first submission solves
+// (and records); every later one installs from the cache.
+double TemplatePerJobMicros(int machines, int job_tasks, int jobs, uint64_t* hits) {
+  FirmamentSchedulerOptions options;
+  options.enable_templates = true;
+  bench::BenchEnv env(bench::PolicyKind::kLoadSpreading, machines, 12, options);
+  SimTime now = 0;
+  // Warm-up: miss, solve, record.
+  JobId job = env.scheduler().SubmitJob(JobType::kBatch, 0, RecurringJobTasks(job_tasks), now);
+  env.scheduler().RunSchedulingRound(now);
+  CHECK_EQ(env.cluster().UsedSlots(), job_tasks);
+  CompleteJob(env, job, now);
+  now += kMicrosPerSecond;
+  double total_us = 0;
+  for (int j = 0; j < jobs; ++j) {
+    TemplateInstallResult install;
+    auto start = std::chrono::steady_clock::now();
+    job = env.scheduler().SubmitJob(JobType::kBatch, 0, RecurringJobTasks(job_tasks), now,
+                                    &install);
+    total_us += std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                          start)
+                    .count();
+    CHECK(install.installed);
+    CHECK_EQ(env.cluster().UsedSlots(), job_tasks);
+    CompleteJob(env, job, now);
+    now += kMicrosPerSecond;
+  }
+  *hits = env.scheduler().template_stats().hits;
+  return total_us / jobs;
+}
+
+void TemplatedRecurring(benchmark::State& state) {
+  const int machines = bench::Scaled(400, 2500);
+  const int job_tasks = 40;
+  const int jobs = 50;
+  for (auto _ : state) {
+    double solver_us = SolverPerJobMicros(machines, job_tasks, jobs);
+    uint64_t hits = 0;
+    double template_us = TemplatePerJobMicros(machines, job_tasks, jobs, &hits);
+    state.counters["solver_per_job_us"] = solver_us;
+    state.counters["template_per_job_us"] = template_us;
+    state.counters["template_speedup"] = solver_us / std::max(1e-9, template_us);
+    state.counters["template_hits"] = static_cast<double>(hits);
+  }
+}
+
 }  // namespace
 }  // namespace firmament
 
@@ -78,6 +169,9 @@ int main(int argc, char** argv) {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
   }
+  benchmark::RegisterBenchmark("fig14/templated_recurring", firmament::TemplatedRecurring)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
   firmament::bench::RunBenchmarksWithJson("fig14_placement_latency");
   if (!firmament::g_firmament.empty() && !firmament::g_quincy.empty()) {
     std::printf("\nFigure 14 placement latency CDFs [s]:\n-- Firmament --\n%s",

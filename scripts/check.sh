@@ -49,6 +49,13 @@ if [ "${FIRMAMENT_SKIP_SANITIZE:-0}" != "1" ]; then
   ./build-asan/scheduler_integration_test \
     --gtest_filter='FaultInjectorTest.*:PhaseSplitRoundTest.*:IntegrityRecoveryTest.*:IdempotentEventsTest.*'
 
+  # Placement-template leg: the template cache holds machine lists and
+  # reverse indices across rounds and across machine removals — exactly the
+  # stale-pointer shape the other cross-round caches have. ASan proves the
+  # eviction paths (machine removal, MarkEquivClass, out-of-band edits,
+  # capacity clears) leave no dangling reads.
+  ./build-asan/placement_template_test
+
   # Trace-ingestion leg: the streaming parsers run on hostile input here
   # (malformed, truncated, out-of-order lines) and hold a chunk buffer +
   # string_view lines across refills — exactly the kind of code where an
@@ -70,7 +77,7 @@ if [ "${FIRMAMENT_SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DFIRMAMENT_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'policy_delta_test|scheduler_integration_test|service_test|trace_test'
+    -R 'policy_delta_test|scheduler_integration_test|service_test|trace_test|placement_template_test'
 fi
 
 BASELINE_DIR="$(mktemp -d)"
@@ -275,6 +282,35 @@ if ! awk -v s="${svc_speedup:-0}" -v n="$svc_need" 'BEGIN { exit !(s >= n) }'; t
   FAILED=1
 fi
 
+# fig14 (templated series): the placement-template fast path re-instantiates
+# a recurring job's placement at SubmitJob time; per-job it must beat the
+# solver path by >= 10x. The trace-sim CDF series stay out of CI (minutes of
+# wall time); only the recurring-job series is run and baseline-diffed.
+run_fig14() {
+  ./build/bench_fig14_placement_latency --benchmark_filter='fig14/templated_recurring'
+}
+cp BENCH_fig14_placement_latency.json "$BASELINE_DIR/fig14.json" 2>/dev/null || true
+run_fig14
+check_regressions fig14 "$BASELINE_DIR/fig14.json" BENCH_fig14_placement_latency.json run_fig14
+
+# Acceptance guard for placement templates: >= 10x per-job over the solver
+# path. A wall-clock ratio on a loaded runner gets one confirmation re-run
+# before failing; the two runs' max gates, since a stall in the (µs-scale)
+# template loop can only deflate the measured speedup.
+tmpl_speedup="$(sed -n 's/.*"template_speedup": \([0-9.eE+-]*\).*/\1/p' BENCH_fig14_placement_latency.json | head -1)"
+if ! awk -v s="${tmpl_speedup:-0}" 'BEGIN { exit !(s >= 10.0) }'; then
+  echo "bench-diff: template speedup ${tmpl_speedup:-?}x below 10x; re-running once to confirm"
+  (cd "$BASELINE_DIR" && "$OLDPWD/build/bench_fig14_placement_latency" \
+      --benchmark_filter='fig14/templated_recurring')
+  rerun_tmpl="$(sed -n 's/.*"template_speedup": \([0-9.eE+-]*\).*/\1/p' "$BASELINE_DIR/BENCH_fig14_placement_latency.json" | head -1)"
+  tmpl_speedup="$(awk -v a="${tmpl_speedup:-0}" -v b="${rerun_tmpl:-0}" 'BEGIN { print (a > b ? a : b) }')"
+fi
+echo "placement templates: per-job speedup=${tmpl_speedup:-?}x over the solver path"
+if ! awk -v s="${tmpl_speedup:-0}" 'BEGIN { exit !(s >= 10.0) }'; then
+  echo "bench-diff: placement templates below acceptance (need >=10x per-job vs solver, confirmed over 2 runs)"
+  FAILED=1
+fi
+
 # fig21: end-to-end trace replay (CSV ingest -> streaming parse -> replay
 # driver -> service). The wall time is dominated by deterministic trace
 # pacing, so the 20% regression gate is meaningful despite the end-to-end
@@ -302,6 +338,16 @@ if ! awk -v c="${replay_complete:-0}" 'BEGIN { exit !(c >= 1.0) }'; then
 fi
 if ! awk -v d="${parse_dropped:-1}" 'BEGIN { exit !(d == 0) }'; then
   echo "bench-diff: parser dropped lines on a cleanly emitted trace"
+  FAILED=1
+fi
+
+# Placement-template hit rate on the replay's recurring workload: the
+# deterministic trace reuses a small set of job shapes, so at least half of
+# all eligible submissions must install from cache.
+tmpl_hit_rate="$(sed -n 's/.*"template_hit_rate": \([0-9.eE+-]*\).*/\1/p' BENCH_fig21_trace_replay.json | head -1)"
+echo "trace replay: template_hit_rate=${tmpl_hit_rate:-?}"
+if ! awk -v h="${tmpl_hit_rate:-0}" 'BEGIN { exit !(h >= 0.5) }'; then
+  echo "bench-diff: template hit rate below acceptance (need >=0.5 on the recurring replay workload)"
   FAILED=1
 fi
 

@@ -99,6 +99,7 @@ class ClusterState {
   // (background bandwidth, spec edits) must reach the next graph update.
   MachineDescriptor& mutable_machine(MachineId id) {
     dirty_machines_.insert(id);
+    out_of_band_machines_.insert(id);
     return machines_[id];
   }
   const std::vector<MachineDescriptor>& machines() const { return machines_; }
@@ -149,6 +150,16 @@ class ClusterState {
     dirty_tasks_.clear();
   }
 
+  // Machines handed out via mutable_machine since the last drain: unlike
+  // dirty_machines_ (which PlaceTask/EvictTask also feed), this only tracks
+  // *out-of-band* descriptor edits, whose changed specs/costs must evict any
+  // cached placement template touching the machine. Drained by the
+  // scheduler's template layer; harmless to ignore otherwise.
+  const std::set<MachineId>& out_of_band_machines() const {
+    return out_of_band_machines_;
+  }
+  void ClearOutOfBandMachines() { out_of_band_machines_.clear(); }
+
   // Total slots across alive machines; used for utilization accounting.
   int64_t TotalSlots() const;
   int64_t UsedSlots() const;
@@ -160,6 +171,7 @@ class ClusterState {
   std::unordered_map<TaskId, TaskDescriptor> tasks_;
   std::set<MachineId> dirty_machines_;
   std::set<TaskId> dirty_tasks_;
+  std::set<MachineId> out_of_band_machines_;
   size_t num_alive_machines_ = 0;
   JobId next_job_id_ = 0;
   TaskId next_task_id_ = 0;

@@ -132,6 +132,12 @@ void FlowGraphManager::InvalidateClassesReferencing(NodeId dst) {
   ec_dst_index_.erase(idx);
   for (EquivClass ec : classes) {
     InvalidateClass(ec);
+    // Node removal is a semantic invalidation: cached placements built on
+    // the class's arcs are stale too (unlike refcount eviction, which fires
+    // precisely when a recurring job's template must survive).
+    if (on_class_invalidated_) {
+      on_class_invalidated_(ec);
+    }
   }
 }
 
@@ -139,6 +145,9 @@ void FlowGraphManager::ClearClassCache() {
   update_stats_.classes_invalidated += ec_cache_.size();
   ec_cache_.clear();
   ec_dst_index_.clear();
+  if (on_class_cache_cleared_) {
+    on_class_cache_cleared_();
+  }
 }
 
 void FlowGraphManager::IndexClassArcs(EquivClass ec, const std::vector<ArcSpec>& arcs) {
@@ -789,6 +798,12 @@ void FlowGraphManager::UpdateRound(SimTime now, RefreshMode mode) {
   } else {
     for (EquivClass ec : marks_.equiv_classes) {
       InvalidateClass(ec);
+      // A MarkEquivClass mark means the class's arc *costs* moved, whether
+      // or not the arc cache currently holds an entry — templates keyed on
+      // the class are stale either way.
+      if (on_class_invalidated_) {
+        on_class_invalidated_(ec);
+      }
     }
   }
   update_stats_.shards.clear();

@@ -28,6 +28,7 @@
 #ifndef SRC_CORE_FLOW_GRAPH_MANAGER_H_
 #define SRC_CORE_FLOW_GRAPH_MANAGER_H_
 
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -155,6 +156,23 @@ class FlowGraphManager {
   // events between rounds are attributed to the round that absorbs them).
   const UpdateRoundStats& last_update_stats() const { return last_update_stats_; }
   size_t class_cache_size() const { return ec_cache_.size(); }
+
+  // --- Class-invalidation listeners (placement templates) -----------------
+  // The scheduler's placement-template cache keys whole cached placements on
+  // equivalence classes; it must hear about *semantic* class invalidations —
+  // policy MarkEquivClass marks and node-removal purges — so templates built
+  // on stale class arcs are evicted. Refcount evictions (last live member of
+  // a class completed) deliberately do NOT fire: a recurring job's class
+  // drops to zero members between runs, and that is exactly the moment a
+  // template must survive. The wholesale-clear listener fires when the
+  // entire class cache drops (full refresh, MarkAllTasks/MarkAllEquivClasses,
+  // recovery rebuild) — anything cached on class identity is then suspect.
+  void set_on_class_invalidated(std::function<void(EquivClass)> listener) {
+    on_class_invalidated_ = std::move(listener);
+  }
+  void set_on_class_cache_cleared(std::function<void()> listener) {
+    on_class_cache_cleared_ = std::move(listener);
+  }
 
   // --- Services for policies ---------------------------------------------------
   // Verifies internal consistency between the bookkeeping maps and the flow
@@ -375,6 +393,11 @@ class FlowGraphManager {
   std::unordered_map<EquivClass, uint32_t> ec_refcount_;
   UpdateRoundStats update_stats_;       // accumulating window
   UpdateRoundStats last_update_stats_;  // snapshot at UpdateRound end
+
+  // Fired on semantic class invalidations / wholesale cache clears (see the
+  // public setters); empty when no template layer is listening.
+  std::function<void(EquivClass)> on_class_invalidated_;
+  std::function<void()> on_class_cache_cleared_;
 
   // Min-heap of (crossing time, task, ramp generation): the next moment each
   // waiting task's unscheduled cost steps to the next bucket.

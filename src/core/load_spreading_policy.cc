@@ -1,10 +1,30 @@
 #include "src/core/load_spreading_policy.h"
 
+#include "src/core/placement_template.h"
+
 namespace firmament {
 
 void LoadSpreadingPolicy::Initialize(FlowGraphManager* manager) {
   manager_ = manager;
   cluster_agg_ = manager_->GetOrCreateAggregator("cluster");
+  // Re-entrant: reseed the alive set from the cluster; the membership set
+  // keeps the replayed OnMachineAdded hooks idempotent.
+  fp_machines_.clear();
+  for (const MachineDescriptor& machine : cluster_->machines()) {
+    if (machine.alive) OnMachineAdded(machine.id);
+  }
+}
+
+void LoadSpreadingPolicy::OnMachineAdded(MachineId machine) { fp_machines_.insert(machine); }
+
+void LoadSpreadingPolicy::OnMachineRemoved(MachineId machine) { fp_machines_.erase(machine); }
+
+uint64_t LoadSpreadingPolicy::TemplateFingerprint(const TaskDescriptor& representative) {
+  (void)representative;  // one class, one neighborhood: the whole cluster
+  // Constant while any machine is alive: X's arcs read only per-machine
+  // load (install-time capacity validation) and liveness (machine eviction
+  // index), so a cached placement survives topology churn — see the header.
+  return fp_machines_.empty() ? 0 : TemplateHashMix(TemplateHashInit(), 1);
 }
 
 void LoadSpreadingPolicy::CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) {

@@ -20,6 +20,8 @@
 #ifndef SRC_CORE_LOAD_SPREADING_POLICY_H_
 #define SRC_CORE_LOAD_SPREADING_POLICY_H_
 
+#include <unordered_set>
+
 #include "src/core/flow_graph_manager.h"
 #include "src/core/scheduling_policy.h"
 
@@ -38,7 +40,10 @@ class LoadSpreadingPolicy : public SchedulingPolicy {
 
   std::string name() const override { return "load_spreading"; }
   void Initialize(FlowGraphManager* manager) override;
+  void OnMachineAdded(MachineId machine) override;
+  void OnMachineRemoved(MachineId machine) override;
   void CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) override;
+  uint64_t TemplateFingerprint(const TaskDescriptor& representative) override;
   UnscheduledRamp UnscheduledCostRamp(const TaskDescriptor& task) override;
   EquivClass TaskEquivClass(const TaskDescriptor& task) override;
   void EquivClassArcs(const TaskDescriptor& representative, SimTime now,
@@ -54,6 +59,14 @@ class LoadSpreadingPolicy : public SchedulingPolicy {
   LoadSpreadingParams params_;
   FlowGraphManager* manager_ = nullptr;
   NodeId cluster_agg_ = kInvalidNodeId;
+  // Template fingerprint: constant while any machine is alive. X treats
+  // machines uniformly — beyond capacity (validated at install time) and
+  // liveness (covered by the template cache's machine eviction index), a
+  // cached placement reads nothing per-machine, so topology churn must NOT
+  // orphan cached keys (recurring jobs would miss after every add/restart).
+  // The membership set makes add/remove idempotent, so Initialize can seed
+  // from the cluster and recovery-replayed hooks cannot double-toggle it.
+  std::unordered_set<MachineId> fp_machines_;
 };
 
 }  // namespace firmament

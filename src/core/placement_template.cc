@@ -1,0 +1,95 @@
+#include "src/core/placement_template.h"
+
+#include <algorithm>
+
+namespace firmament {
+
+const PlacementTemplate* PlacementTemplateCache::Lookup(const TemplateKey& key) {
+  auto it = templates_.find(key);
+  if (it == templates_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+void PlacementTemplateCache::Record(const TemplateKey& key,
+                                    std::vector<MachineId> machines,
+                                    std::vector<EquivClass> classes) {
+  auto it = templates_.find(key);
+  if (it != templates_.end()) {
+    Erase(key);
+    ++stats_.evictions;
+  } else if (templates_.size() >= capacity_) {
+    Clear();
+  }
+  PlacementTemplate& tmpl = templates_[key];
+  tmpl.key = key;
+  tmpl.machines = std::move(machines);
+  tmpl.classes = std::move(classes);
+  std::sort(tmpl.classes.begin(), tmpl.classes.end());
+  tmpl.classes.erase(std::unique(tmpl.classes.begin(), tmpl.classes.end()),
+                     tmpl.classes.end());
+  for (MachineId machine : tmpl.machines) machine_index_[machine].insert(key);
+  for (EquivClass ec : tmpl.classes) class_index_[ec].insert(key);
+  ++stats_.recordings;
+}
+
+void PlacementTemplateCache::Evict(const TemplateKey& key) {
+  if (templates_.find(key) == templates_.end()) return;
+  Erase(key);
+  ++stats_.evictions;
+}
+
+void PlacementTemplateCache::EvictMachine(MachineId machine) {
+  auto it = machine_index_.find(machine);
+  if (it == machine_index_.end()) return;
+  // Erase() mutates machine_index_; detach the key set first.
+  std::set<TemplateKey> keys = std::move(it->second);
+  machine_index_.erase(it);
+  for (const TemplateKey& key : keys) {
+    if (templates_.find(key) == templates_.end()) continue;
+    Erase(key);
+    ++stats_.evictions;
+  }
+}
+
+void PlacementTemplateCache::EvictClass(EquivClass ec) {
+  auto it = class_index_.find(ec);
+  if (it == class_index_.end()) return;
+  std::set<TemplateKey> keys = std::move(it->second);
+  class_index_.erase(it);
+  for (const TemplateKey& key : keys) {
+    if (templates_.find(key) == templates_.end()) continue;
+    Erase(key);
+    ++stats_.evictions;
+  }
+}
+
+void PlacementTemplateCache::Clear() {
+  stats_.evictions += templates_.size();
+  templates_.clear();
+  machine_index_.clear();
+  class_index_.clear();
+}
+
+void PlacementTemplateCache::Erase(const TemplateKey& key) {
+  auto it = templates_.find(key);
+  const PlacementTemplate& tmpl = it->second;
+  for (MachineId machine : tmpl.machines) {
+    auto mit = machine_index_.find(machine);
+    if (mit == machine_index_.end()) continue;
+    mit->second.erase(key);
+    if (mit->second.empty()) machine_index_.erase(mit);
+  }
+  for (EquivClass ec : tmpl.classes) {
+    auto cit = class_index_.find(ec);
+    if (cit == class_index_.end()) continue;
+    cit->second.erase(key);
+    if (cit->second.empty()) class_index_.erase(cit);
+  }
+  templates_.erase(it);
+}
+
+}  // namespace firmament

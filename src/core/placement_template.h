@@ -1,0 +1,148 @@
+// Placement templates: cached whole-control-plane decisions for recurring
+// jobs, one level above the cross-round equivalence-class arc cache.
+//
+// "Execution Templates" (see PAPERS.md) observes that a control plane
+// re-deciding the same thing for every repetition of a recurring job wastes
+// its entire decision pipeline; caching the decision and re-instantiating it
+// with parameter substitution turns repeated scheduling work into µs-scale
+// installs. Applied here: when an admitted job's *template key* — the
+// equivalence-class signature of its tasks plus a policy-provided
+// neighborhood fingerprint of the machines/aggregators its arcs touch —
+// matches a prior solved placement, the scheduler validates the cached
+// assignment against current ClusterState capacities and installs it
+// directly, without entering FlowGraphManager::UpdateRound or the solver
+// for those tasks. Any mismatch falls back to the normal flow path (which
+// re-records the template), so a template can cost quality but never
+// correctness: validation is exact against live capacity, and the next
+// solver round is free to migrate template-placed tasks if their placement
+// is poor enough to beat the continuation-arc bias.
+//
+// Invalidation sources (wired by FirmamentScheduler):
+//  * machine removal  -> every template placing a task on the machine is
+//    evicted through the machine reverse index (the policy fingerprint also
+//    moves, orphaning keys recorded against the old topology);
+//  * out-of-band descriptor edits (ClusterState::mutable_machine) -> the
+//    touched machine's templates are evicted before the next lookup;
+//  * equivalence-class invalidation (policy MarkEquivClass marks and
+//    node-removal invalidations in the class arc cache) -> every template
+//    containing a task of the class is evicted through the class index.
+
+#ifndef SRC_CORE_PLACEMENT_TEMPLATE_H_
+#define SRC_CORE_PLACEMENT_TEMPLATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/scheduling_policy.h"  // EquivClass
+#include "src/core/types.h"
+
+namespace firmament {
+
+// Identity of a cached placement decision. `signature` hashes the job's
+// intrinsic shape (type, priority, ordered per-task equivalence classes);
+// `fingerprint` is the policy's hash of the cluster neighborhood the job's
+// arcs depend on (SchedulingPolicy::TemplateFingerprint). Two jobs with
+// equal keys would build byte-identical flow subgraphs, so the solved
+// placement of one is a valid (if possibly stale-quality) answer for the
+// other — staleness in *capacity* is what install-time validation rejects.
+struct TemplateKey {
+  uint64_t signature = 0;
+  uint64_t fingerprint = 0;
+
+  bool operator==(const TemplateKey& other) const {
+    return signature == other.signature && fingerprint == other.fingerprint;
+  }
+  bool operator<(const TemplateKey& other) const {
+    return signature != other.signature ? signature < other.signature
+                                        : fingerprint < other.fingerprint;
+  }
+};
+
+struct TemplateKeyHash {
+  size_t operator()(const TemplateKey& key) const {
+    // Fibonacci mix of the two halves; both are already FNV-style hashes.
+    return static_cast<size_t>(key.signature ^
+                               (key.fingerprint * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+// One cached placement: machine assignment per task index (in job task
+// order) plus the distinct equivalence classes the tasks mapped to (feeding
+// the class eviction index).
+struct PlacementTemplate {
+  TemplateKey key;
+  std::vector<MachineId> machines;
+  std::vector<EquivClass> classes;
+};
+
+// Monotonic counters. hits/misses/validation_failures count Lookup-path
+// events; recordings/evictions count cache mutations (an eviction is one
+// template dropped, whatever the source — machine removal, out-of-band
+// edit, class invalidation, or capacity pressure).
+struct PlacementTemplateStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t validation_failures = 0;
+  uint64_t recordings = 0;
+  uint64_t evictions = 0;
+};
+
+class PlacementTemplateCache {
+ public:
+  explicit PlacementTemplateCache(size_t capacity = 4096) : capacity_(capacity) {}
+
+  PlacementTemplateCache(const PlacementTemplateCache&) = delete;
+  PlacementTemplateCache& operator=(const PlacementTemplateCache&) = delete;
+
+  // Returns the cached template for `key` (counting a hit) or nullptr
+  // (counting a miss). The pointer stays valid until the next mutating call.
+  const PlacementTemplate* Lookup(const TemplateKey& key);
+
+  // Records (or overwrites) the template for `key`. At capacity the whole
+  // cache is dropped first — fingerprint churn strands unreachable keys, and
+  // a wholesale clear is cheaper than tracking reachability.
+  void Record(const TemplateKey& key, std::vector<MachineId> machines,
+              std::vector<EquivClass> classes);
+
+  // Counted by the scheduler when a Lookup hit fails install-time
+  // validation (the template itself is then evicted via Evict).
+  void CountValidationFailure() { ++stats_.validation_failures; }
+
+  // Drops one template by key (validation failure; re-recorded after the
+  // fallback solve). No-op if absent.
+  void Evict(const TemplateKey& key);
+  // Drops every template placing a task on `machine` / containing a task of
+  // class `ec`. Each dropped template counts one eviction.
+  void EvictMachine(MachineId machine);
+  void EvictClass(EquivClass ec);
+  // Drops everything (recovery rebuilds, wholesale class-cache clears).
+  void Clear();
+
+  size_t size() const { return templates_.size(); }
+  const PlacementTemplateStats& stats() const { return stats_; }
+
+ private:
+  void Erase(const TemplateKey& key);
+
+  size_t capacity_;
+  std::unordered_map<TemplateKey, PlacementTemplate, TemplateKeyHash> templates_;
+  // Reverse indices for delta-driven eviction. Ordered sets keep eviction
+  // order deterministic for the exact-count test asserts.
+  std::unordered_map<MachineId, std::set<TemplateKey>> machine_index_;
+  std::unordered_map<EquivClass, std::set<TemplateKey>> class_index_;
+  PlacementTemplateStats stats_;
+};
+
+// FNV-1a helpers shared by signature/fingerprint computation (same constants
+// as the policies' class hashing).
+inline uint64_t TemplateHashInit() { return 1469598103934665603ull; }
+inline uint64_t TemplateHashMix(uint64_t hash, uint64_t value) {
+  return (hash ^ value) * 1099511628211ull;
+}
+
+}  // namespace firmament
+
+#endif  // SRC_CORE_PLACEMENT_TEMPLATE_H_

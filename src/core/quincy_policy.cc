@@ -21,6 +21,11 @@ inline uint64_t FnvMix(uint64_t hash, uint64_t value) {
   return (hash ^ value) * kFnvPrime;
 }
 
+uint64_t MachineNeighborhoodHash(MachineId machine, RackId rack) {
+  constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+  return FnvMix(FnvMix(kFnvOffset, machine + 1), rack + 1);
+}
+
 }  // namespace
 
 QuincyPolicy::QuincyPolicy(const ClusterState* cluster, const DataLocalityInterface* locality,
@@ -37,6 +42,15 @@ void QuincyPolicy::Initialize(FlowGraphManager* manager) {
   block_tasks_.clear();
   pending_affected_tasks_.clear();
   pending_dirty_all_ = false;
+  // Reseed the template fingerprint from the current alive set; the
+  // membership set keeps the replayed OnMachineAdded hooks idempotent.
+  fp_machines_.clear();
+  fp_hash_ = 0;
+  for (const MachineDescriptor& machine : cluster_->machines()) {
+    if (machine.alive && fp_machines_.insert(machine.id).second) {
+      fp_hash_ ^= MachineNeighborhoodHash(machine.id, cluster_->RackOf(machine.id));
+    }
+  }
 }
 
 void QuincyPolicy::OnMachineAdded(MachineId machine) {
@@ -44,6 +58,9 @@ void QuincyPolicy::OnMachineAdded(MachineId machine) {
   // cluster aggregator and task preference arcs can target them.
   manager_->GetOrCreateAggregator(RackKey(cluster_->RackOf(machine)));
   slots_seen_[machine] = cluster_->machine(machine).spec.slots;
+  if (fp_machines_.insert(machine).second) {
+    fp_hash_ ^= MachineNeighborhoodHash(machine, cluster_->RackOf(machine));
+  }
 }
 
 void QuincyPolicy::OnMachineRemoved(MachineId machine) {
@@ -60,6 +77,9 @@ void QuincyPolicy::OnMachineRemoved(MachineId machine) {
     manager_->RemoveAggregator(RackKey(rack));
   }
   slots_seen_.erase(machine);
+  if (fp_machines_.erase(machine) > 0) {
+    fp_hash_ ^= MachineNeighborhoodHash(machine, rack);
+  }
   // Capture the tasks whose preference/transfer costs this removal can
   // move: exactly those reading a block replicated on the machine (their
   // BytesOnMachine / BytesInRack inputs change when the replicas drop).
@@ -79,6 +99,15 @@ void QuincyPolicy::OnMachineRemoved(MachineId machine) {
       pending_dirty_all_ = true;
     }
   }
+}
+
+uint64_t QuincyPolicy::TemplateFingerprint(const TaskDescriptor& representative) {
+  (void)representative;
+  // Preference arcs are derived from static block placement plus the alive
+  // machine/rack topology; replica loss only ever arrives via machine
+  // removal, so the (machine, rack) set hash covers every topology input
+  // EquivClassArcs reads. 0 (no machines) keeps templates off.
+  return fp_machines_.empty() ? 0 : FnvMix(1469598103934665603ull, fp_hash_);
 }
 
 void QuincyPolicy::OnTaskAdded(const TaskDescriptor& task) {

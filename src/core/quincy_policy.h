@@ -68,6 +68,7 @@ class QuincyPolicy : public SchedulingPolicy {
   void Initialize(FlowGraphManager* manager) override;
   void OnMachineAdded(MachineId machine) override;
   void OnMachineRemoved(MachineId machine) override;
+  uint64_t TemplateFingerprint(const TaskDescriptor& representative) override;
   void OnTaskAdded(const TaskDescriptor& task) override;
   void OnTaskRemoved(const TaskDescriptor& task) override;
   void CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) override;
@@ -108,6 +109,12 @@ class QuincyPolicy : public SchedulingPolicy {
   // the next round must dirty every task (legacy behaviour).
   bool pending_dirty_all_ = false;
   std::vector<uint64_t> scratch_blocks_;
+  // Template fingerprint: XOR of per-(machine, rack) hashes over the alive
+  // set — preference/fallback arcs route through machines and their rack
+  // aggregators, so any topology change must move the fingerprint. The
+  // membership set keeps recovery-replayed hooks idempotent.
+  std::set<MachineId> fp_machines_;
+  uint64_t fp_hash_ = 0;
 };
 
 }  // namespace firmament

@@ -11,10 +11,22 @@ namespace firmament {
 FirmamentScheduler::FirmamentScheduler(ClusterState* cluster, SchedulingPolicy* policy,
                                        FirmamentSchedulerOptions options)
     : cluster_(cluster),
+      policy_(policy),
       graph_manager_(cluster, policy, options.graph),
       solver_(options.solver),
       integrity_checker_(cluster, &graph_manager_),
-      check_integrity_(options.check_integrity) {}
+      check_integrity_(options.check_integrity),
+      enable_templates_(options.enable_templates),
+      template_cache_(options.template_capacity) {
+  if (enable_templates_) {
+    // Semantic class invalidations (MarkEquivClass, node-removal purges) and
+    // wholesale class-cache clears cascade into the template layer: a
+    // template is only as fresh as the class arcs it was solved against.
+    graph_manager_.set_on_class_invalidated(
+        [this](EquivClass ec) { template_cache_.EvictClass(ec); });
+    graph_manager_.set_on_class_cache_cleared([this]() { template_cache_.Clear(); });
+  }
+}
 
 MachineId FirmamentScheduler::AddMachine(RackId rack, const MachineSpec& spec) {
   MachineId machine = cluster_->AddMachine(rack, spec);
@@ -44,6 +56,14 @@ void FirmamentScheduler::RemoveMachine(MachineId machine, SimTime now,
   // runs. Callers pass their store notification as `on_removed`, which
   // runs right after the hook — immediately here on the sync path, at
   // staged replay when a round is in flight.
+  // A dead machine invalidates every template that places on it, eagerly —
+  // a lookup between this event and the staged graph replay must not hit a
+  // placement targeting it. (The policy fingerprint moves too, but keys
+  // recorded under the old topology would otherwise linger until capacity
+  // pressure clears them.)
+  if (enable_templates_) {
+    template_cache_.EvictMachine(machine);
+  }
   for (TaskId task : cluster_->RunningTasksOn(machine)) {
     cluster_->EvictTask(task, now);
   }
@@ -67,15 +87,35 @@ void FirmamentScheduler::RemoveMachine(MachineId machine, SimTime now,
 }
 
 JobId FirmamentScheduler::SubmitJob(JobType type, int32_t priority,
-                                    std::vector<TaskDescriptor> tasks, SimTime now) {
+                                    std::vector<TaskDescriptor> tasks, SimTime now,
+                                    TemplateInstallResult* install) {
+  WallTimer submit_timer;
+  if (install != nullptr) {
+    *install = {};
+  }
   JobId job = cluster_->SubmitJob(type, priority, now);
-  StagedEvent staged;
-  staged.kind = StagedEvent::Kind::kTasksSubmitted;
-  staged.time = now;
+  std::vector<TaskId> ids;
+  ids.reserve(tasks.size());
   for (TaskDescriptor& task : tasks) {
     task.submit_time = now;
     task.state = TaskState::kWaiting;
-    TaskId id = cluster_->AddTaskToJob(job, std::move(task));
+    ids.push_back(cluster_->AddTaskToJob(job, std::move(task)));
+  }
+  if (enable_templates_ && !ids.empty() && TryTemplateInstall(job, ids, now, install)) {
+    uint64_t install_us = submit_timer.ElapsedMicros();
+    if (install != nullptr) {
+      install->install_wall_us = install_us;
+    }
+    // Per-job wall time of the bypass — the fig14 "templated" series.
+    template_install_latency_.Add(static_cast<double>(install_us) / 1e6);
+    return job;
+  }
+  // Normal flow path: tasks enter the graph (staged when a round is in
+  // flight) and become schedulable in the next solve.
+  StagedEvent staged;
+  staged.kind = StagedEvent::Kind::kTasksSubmitted;
+  staged.time = now;
+  for (TaskId id : ids) {
     if (round_in_flight_) {
       staged.tasks.push_back(id);
     } else if (!graph_manager_.AddTask(id, now)) {
@@ -88,7 +128,122 @@ JobId FirmamentScheduler::SubmitJob(JobType type, int32_t priority,
   if (!staged.tasks.empty()) {
     event_stage_.Stage(std::move(staged));
   }
+  if (install != nullptr) {
+    install->install_wall_us = submit_timer.ElapsedMicros();
+  }
   return job;
+}
+
+void FirmamentScheduler::DrainOutOfBandTemplateEvictions() {
+  if (cluster_->out_of_band_machines().empty()) {
+    return;
+  }
+  // mutable_machine edits change specs/costs under the cache's feet; any
+  // template placing on an edited machine was solved against stale inputs.
+  for (MachineId machine : cluster_->out_of_band_machines()) {
+    template_cache_.EvictMachine(machine);
+  }
+  cluster_->ClearOutOfBandMachines();
+}
+
+bool FirmamentScheduler::TryTemplateInstall(JobId job, const std::vector<TaskId>& ids,
+                                            SimTime now, TemplateInstallResult* install) {
+  const TaskDescriptor& representative = cluster_->task(ids[0]);
+  uint64_t fingerprint = policy_->TemplateFingerprint(representative);
+  if (fingerprint == 0) {
+    return false;  // policy opted out (or no machines yet)
+  }
+  DrainOutOfBandTemplateEvictions();
+  if (install != nullptr) {
+    install->eligible = true;
+  }
+  // Signature: the job's intrinsic shape. Tasks contribute their equivalence
+  // class *in task order*, so the cached machine list below can be installed
+  // positionally on an equal-signature job.
+  const JobDescriptor& descriptor = cluster_->job(job);
+  uint64_t signature = TemplateHashInit();
+  signature = TemplateHashMix(signature, static_cast<uint64_t>(descriptor.type));
+  signature = TemplateHashMix(signature, static_cast<uint64_t>(
+                                             static_cast<int64_t>(descriptor.priority)));
+  signature = TemplateHashMix(signature, ids.size());
+  std::vector<EquivClass> classes;
+  classes.reserve(ids.size());
+  for (TaskId id : ids) {
+    EquivClass ec = policy_->TaskEquivClass(cluster_->task(id));
+    classes.push_back(ec);
+    signature = TemplateHashMix(signature, ec);
+  }
+  TemplateKey key{signature, fingerprint};
+  const PlacementTemplate* cached = template_cache_.Lookup(key);
+  if (cached == nullptr) {
+    pending_templates_[job] = {signature, std::move(classes), ids};
+    return false;
+  }
+  if (install != nullptr) {
+    install->hit = true;
+  }
+  // Validation: the cached assignment must fit *current* capacity exactly —
+  // every target machine alive with enough free slots for the tasks the
+  // template sends there. Anything else falls back to the solver, which
+  // will produce placements byte-identical to a never-cached scheduler's
+  // (the fast path has mutated nothing at this point).
+  bool valid = cached->machines.size() == ids.size();
+  if (valid) {
+    std::unordered_map<MachineId, int32_t> demand;
+    for (MachineId machine : cached->machines) {
+      ++demand[machine];
+    }
+    for (const auto& [machine, count] : demand) {
+      if (machine >= cluster_->machines().size() || !cluster_->machine(machine).alive ||
+          cluster_->machine(machine).FreeSlots() < count) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (!valid) {
+    template_cache_.CountValidationFailure();
+    template_cache_.Evict(key);
+    if (install != nullptr) {
+      install->validation_failed = true;
+    }
+    pending_templates_[job] = {signature, std::move(classes), ids};
+    return false;
+  }
+  // Install: mint placements directly. The cluster half applies eagerly
+  // (slots are consumed before any concurrent solve's deltas apply — the
+  // ApplyRound capacity guard drops clashing solver deltas); the graph half
+  // follows the staging contract like any other submission, and the next
+  // UpdateRound refreshes the new nodes as dirty running tasks, so the
+  // continuous reschedule keeps optimizing them.
+  StagedEvent staged;
+  staged.kind = StagedEvent::Kind::kTasksSubmitted;
+  staged.time = now;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    TaskId id = ids[i];
+    if (round_in_flight_) {
+      staged.tasks.push_back(id);
+      midround_install_machines_.insert(cached->machines[i]);
+    } else if (!graph_manager_.AddTask(id, now)) {
+      ++event_counters_.ignored_task_submissions;
+    }
+    CHECK(cluster_->PlaceTask(id, cached->machines[i], now));
+    placement_latency_.Add(0.0);
+    SchedulingDelta delta;
+    delta.kind = SchedulingDelta::Kind::kPlace;
+    delta.task = id;
+    delta.to = cached->machines[i];
+    if (install != nullptr) {
+      install->deltas.push_back(delta);
+    }
+  }
+  if (!staged.tasks.empty()) {
+    event_stage_.Stage(std::move(staged));
+  }
+  if (install != nullptr) {
+    install->installed = true;
+  }
+  return true;
 }
 
 void FirmamentScheduler::CompleteTask(TaskId task, SimTime now) {
@@ -227,6 +382,17 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
   result.graph_update_us = pending_graph_update_us_;
   result.recovery_actions = std::move(pending_recovery_);
   pending_recovery_.clear();
+  // Template traffic since the previous ApplyRound is attributed to this
+  // round (bypass hits never enter a round on their own, so the round
+  // result is where they become visible to drivers).
+  {
+    const PlacementTemplateStats& t = template_cache_.stats();
+    result.solver_stats.template_hits = t.hits - template_window_.hits;
+    result.solver_stats.template_misses = t.misses - template_window_.misses;
+    result.solver_stats.template_validation_failures =
+        t.validation_failures - template_window_.validation_failures;
+    template_window_ = t;
+  }
 
   const bool have_placements = pending_solve_.outcome == SolveOutcome::kOptimal ||
                                pending_solve_.outcome == SolveOutcome::kApproximate;
@@ -245,6 +411,8 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
     // into the next round's graph instead of being lost, and admitted tasks
     // keep their original submit timestamps for honest latency tails.
     ReplayStagedEvents();
+    RecordPendingTemplates();
+    midround_install_machines_.clear();
     result.total_runtime_us = round_timer.ElapsedMicros();
     return result;
   }
@@ -253,9 +421,18 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
 
   // A machine removed between StartRound and ApplyRound invalidates every
   // delta targeting it; those are dropped exactly like deltas for tasks that
-  // completed mid-round.
-  auto machine_alive = [&](MachineId machine) {
-    return machine < cluster_->machines().size() && cluster_->machine(machine).alive;
+  // completed mid-round. The free-slot check covers the other mid-round
+  // capacity thief — a template install placing onto slots the in-flight
+  // solve still believed were free — and applies ONLY to machines such an
+  // install touched: the solver's own deltas legitimately pass through
+  // transiently oversubscribed states during this diff (a place can precede
+  // the preempt that frees its slot) and must not be dropped.
+  auto machine_placeable = [&](MachineId machine) {
+    if (machine >= cluster_->machines().size() || !cluster_->machine(machine).alive) {
+      return false;
+    }
+    return midround_install_machines_.count(machine) == 0 ||
+           cluster_->machine(machine).FreeSlots() > 0;
   };
 
   // Diff extracted placements against current task state.
@@ -287,9 +464,10 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
       continue;
     }
     if (task.state == TaskState::kWaiting) {
-      if (!machine_alive(machine)) {
-        // Target machine died mid-round: drop the delta; the task stays
-        // waiting and reschedules next round.
+      if (!machine_placeable(machine)) {
+        // Target machine died (or lost its slots to a mid-round template
+        // install): drop the delta; the task stays waiting and reschedules
+        // next round.
         ++result.deltas_dropped;
         ++result.tasks_unscheduled;
         continue;
@@ -303,10 +481,10 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
       result.deltas.push_back(delta);
       ++result.tasks_placed;
     } else if (task.state == TaskState::kRunning && task.machine != machine) {
-      if (!machine_alive(machine)) {
-        // Migration target died mid-round: drop the delta BEFORE evicting,
-        // so the task keeps running where it is instead of being stranded
-        // waiting by an evict-then-failed-place pair.
+      if (!machine_placeable(machine)) {
+        // Migration target died (or filled up) mid-round: drop the delta
+        // BEFORE evicting, so the task keeps running where it is instead of
+        // being stranded waiting by an evict-then-failed-place pair.
         ++result.deltas_dropped;
         continue;
       }
@@ -329,14 +507,66 @@ SchedulerRoundResult FirmamentScheduler::ApplyRound(SimTime now) {
   // pipelined loop placement-identical to a serialized one — the serialized
   // loop applies the same events after the round, in the same order.
   ReplayStagedEvents();
+  RecordPendingTemplates();
+  midround_install_machines_.clear();
 
   result.total_runtime_us = round_timer.ElapsedMicros();
   return result;
 }
 
+void FirmamentScheduler::RecordPendingTemplates() {
+  if (!enable_templates_ || pending_templates_.empty()) {
+    return;
+  }
+  DrainOutOfBandTemplateEvictions();
+  for (auto it = pending_templates_.begin(); it != pending_templates_.end();) {
+    const PendingTemplate& pending = it->second;
+    bool all_running = true;
+    bool dead = false;
+    for (TaskId task : pending.tasks) {
+      if (!cluster_->HasTask(task)) {
+        dead = true;  // completed-and-forgotten before a full placement held
+        break;
+      }
+      TaskState state = cluster_->task(task).state;
+      if (state == TaskState::kCompleted) {
+        dead = true;
+        break;
+      }
+      if (state != TaskState::kRunning) {
+        all_running = false;
+        break;
+      }
+    }
+    if (dead) {
+      it = pending_templates_.erase(it);
+      continue;
+    }
+    if (!all_running) {
+      ++it;  // partial placement: wait for a later round to finish the job
+      continue;
+    }
+    // Fingerprint against the topology the placement actually holds on —
+    // the submit-time topology may have changed while the job waited.
+    uint64_t fingerprint =
+        policy_->TemplateFingerprint(cluster_->task(pending.tasks[0]));
+    if (fingerprint != 0) {
+      std::vector<MachineId> machines;
+      machines.reserve(pending.tasks.size());
+      for (TaskId task : pending.tasks) {
+        machines.push_back(cluster_->task(task).machine);
+      }
+      template_cache_.Record({pending.signature, fingerprint}, std::move(machines),
+                             it->second.classes);
+    }
+    it = pending_templates_.erase(it);
+  }
+}
+
 void FirmamentScheduler::ClearMetrics() {
   placement_latency_.Clear();
   algorithm_runtime_.Clear();
+  template_install_latency_.Clear();
 }
 
 }  // namespace firmament

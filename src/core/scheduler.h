@@ -13,6 +13,8 @@
 
 #include <functional>
 #include <memory>
+#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/metrics.h"
@@ -20,6 +22,7 @@
 #include "src/core/flow_graph_manager.h"
 #include "src/core/integrity_checker.h"
 #include "src/core/placement_extractor.h"
+#include "src/core/placement_template.h"
 #include "src/core/scheduling_policy.h"
 #include "src/core/types.h"
 #include "src/solvers/racing_solver.h"
@@ -83,6 +86,27 @@ struct FirmamentSchedulerOptions {
   // SchedulerRoundResult::recovery_actions. A report that is still dirty
   // after a full rebuild is provably impossible and aborts.
   bool check_integrity = false;
+  // Placement templates (see placement_template.h): cache whole solved
+  // placements keyed on (equivalence-class signature, policy neighborhood
+  // fingerprint) and install them at SubmitJob time — validated against
+  // live capacities — without entering the graph update or the solver.
+  // Off by default; policies whose TemplateFingerprint returns 0 stay on
+  // the solver path even when enabled.
+  bool enable_templates = false;
+  size_t template_capacity = 4096;
+};
+
+// Outcome of the template fast path for one SubmitJob call (all false when
+// templates are disabled or the policy opted out). `deltas` carries the
+// minted kPlace actions of an install so callers (service, simulator) can
+// run their per-placement bookkeeping without a scheduling round.
+struct TemplateInstallResult {
+  bool eligible = false;           // templates on and fingerprint != 0
+  bool hit = false;                // key matched a cached placement
+  bool validation_failed = false;  // hit, but capacities rejected it
+  bool installed = false;          // placements applied, solver bypassed
+  uint64_t install_wall_us = 0;    // wall time of the whole fast path
+  std::vector<SchedulingDelta> deltas;
 };
 
 class FirmamentScheduler {
@@ -120,8 +144,12 @@ class FirmamentScheduler {
   // that hook is deferred — passing the notification here defers it with
   // the hook instead of racing ahead of it.
   void RemoveMachine(MachineId machine, SimTime now, std::function<void()> on_removed = {});
-  // Submits a job; tasks become schedulable in the next round.
-  JobId SubmitJob(JobType type, int32_t priority, std::vector<TaskDescriptor> tasks, SimTime now);
+  // Submits a job; tasks become schedulable in the next round — unless the
+  // template fast path installs a cached placement immediately (enabled
+  // schedulers only; see FirmamentSchedulerOptions::enable_templates).
+  // `install` (optional) reports what the fast path did.
+  JobId SubmitJob(JobType type, int32_t priority, std::vector<TaskDescriptor> tasks,
+                  SimTime now, TemplateInstallResult* install = nullptr);
   // Marks a running task completed and removes it from the graph.
   void CompleteTask(TaskId task, SimTime now);
 
@@ -163,20 +191,63 @@ class FirmamentScheduler {
   const Distribution& algorithm_runtime() const { return algorithm_runtime_; }
   // Stale-event counters (see the idempotency contract above).
   const SchedulerEventCounters& event_counters() const { return event_counters_; }
+  // Placement-template introspection. Stats are cumulative (per-round
+  // windows land in SchedulerRoundResult::solver_stats); the install
+  // latency distribution samples the fast path's wall time per task in
+  // seconds — the fig14 "templated" series.
+  bool templates_enabled() const { return enable_templates_; }
+  const PlacementTemplateStats& template_stats() const { return template_cache_.stats(); }
+  size_t template_cache_size() const { return template_cache_.size(); }
+  const Distribution& template_install_latency() const { return template_install_latency_; }
   void ClearMetrics();
 
  private:
+  // A solved-but-not-yet-recorded template candidate: the job missed (or
+  // failed validation) at submit time; once every task is running — i.e.
+  // the solver has placed the whole job — ApplyRound records the placement
+  // under the signature, with the fingerprint recomputed against the
+  // topology that placement was actually made on.
+  struct PendingTemplate {
+    uint64_t signature = 0;
+    std::vector<EquivClass> classes;
+    std::vector<TaskId> tasks;
+  };
+
   // Integrity pass + graph update: everything StartRound does before the
   // solve, shared by the sync and async variants.
   void PrepareRound(SimTime now);
   // Applies the graph half of events staged while the round was in flight.
   void ReplayStagedEvents();
+  // The template fast path for one freshly minted job (ids in task order).
+  // Returns true if a cached placement was validated and installed.
+  bool TryTemplateInstall(JobId job, const std::vector<TaskId>& ids, SimTime now,
+                          TemplateInstallResult* install);
+  // Evicts templates touching machines edited out-of-band via
+  // ClusterState::mutable_machine since the last drain.
+  void DrainOutOfBandTemplateEvictions();
+  // Records pending templates whose jobs are now fully placed.
+  void RecordPendingTemplates();
 
   ClusterState* cluster_;
+  SchedulingPolicy* policy_;
   FlowGraphManager graph_manager_;
   RacingSolver solver_;
   IntegrityChecker integrity_checker_;
   bool check_integrity_ = false;
+  bool enable_templates_ = false;
+  PlacementTemplateCache template_cache_;
+  // Snapshot of the cache counters at the last ApplyRound; the delta since
+  // then is the round's template window (folded into solver_stats).
+  PlacementTemplateStats template_window_;
+  std::unordered_map<JobId, PendingTemplate> pending_templates_;
+  // Machines whose slots a template install consumed while a round was in
+  // flight: the in-flight solve still believes those slots are free, so
+  // ApplyRound re-checks capacity for deltas targeting exactly these
+  // machines (and only these — the solver's own deltas go through
+  // transiently oversubscribed states mid-diff, e.g. a place processed
+  // before the preempt that frees its slot, and must not be dropped).
+  std::set<MachineId> midround_install_machines_;
+  Distribution template_install_latency_;
   Distribution placement_latency_;
   Distribution algorithm_runtime_;
   SchedulerEventCounters event_counters_;

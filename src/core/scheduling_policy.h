@@ -198,6 +198,24 @@ class SchedulingPolicy {
   virtual void EquivClassArcs(const TaskDescriptor& representative, SimTime now,
                               std::vector<ArcSpec>* out) = 0;
 
+  // Neighborhood fingerprint for placement templates (the decision cache one
+  // level above the class arc cache). The returned hash must cover every
+  // cluster-side input that EquivClassArcs / TaskSpecificArcs of the task's
+  // class read *beyond* capacity (the template install validates free slots
+  // itself): typically the set of alive machines and any aggregator
+  // structure the arcs route through. Two submissions with equal
+  // TaskEquivClass signatures AND equal fingerprints must want identical
+  // flow subgraphs, so a prior solve's placement can be re-installed
+  // directly. Return 0 to opt the policy out of templates (the default);
+  // policies maintaining the hash incrementally reset it in Initialize and
+  // re-learn it from the replayed OnMachineAdded hooks, like any other
+  // graph-derived bookkeeping. Called from the serial submit path — it may
+  // read policy state but must not mutate it.
+  virtual uint64_t TemplateFingerprint(const TaskDescriptor& representative) {
+    (void)representative;
+    return 0;
+  }
+
   // Per-task arcs on top of the class arcs. For running tasks this typically
   // includes a cheap continuation arc to the current machine, which is what
   // makes preemption a deliberate cost trade-off. On a (dst, rank) collision

@@ -77,6 +77,7 @@ uint64_t SchedulerService::Submit(JobType type, int32_t priority,
   ServiceEvent event;
   event.kind = ServiceEvent::Kind::kSubmitJob;
   event.enqueue_time = clock_->Now();
+  event.wall_enqueue = std::chrono::steady_clock::now();
   event.submit_seq = seq;
   event.type = type;
   event.priority = priority;
@@ -125,24 +126,44 @@ void SchedulerService::RemoveMachine(MachineId machine) {
   Enqueue(std::move(event));
 }
 
-void SchedulerService::ApplyEvent(ServiceEvent& event) {
+bool SchedulerService::ApplyEvent(ServiceEvent& event) {
   // Events apply at their producer-side enqueue timestamps: submit times
   // (and so unscheduled-cost ramps and latency samples) are independent of
   // when the admission policy got around to the batch.
   const SimTime now = event.enqueue_time;
+  bool needs_round = true;
   switch (event.kind) {
     case ServiceEvent::Kind::kSubmitJob: {
-      JobId job = scheduler_->SubmitJob(event.type, event.priority, std::move(event.tasks), now);
+      TemplateInstallResult install;
+      JobId job = scheduler_->SubmitJob(event.type, event.priority, std::move(event.tasks),
+                                        now, &install);
       const JobDescriptor& desc = scheduler_->cluster().job(job);
       {
         std::unique_lock<std::mutex> lock(stats_mutex_);
         for (TaskId task : desc.tasks) {
-          pending_place_.emplace(task, event.enqueue_time);
+          pending_place_.emplace(task, PendingPlace{event.enqueue_time, event.wall_enqueue});
         }
       }
       counts_.tasks_admitted.fetch_add(desc.tasks.size(), std::memory_order_relaxed);
+      if (install.eligible) {
+        (install.hit ? counts_.template_hits : counts_.template_misses)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (install.validation_failed) {
+          counts_.template_validation_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       if (on_admitted_) {
         on_admitted_(event.submit_seq, job, desc.tasks);
+      }
+      if (install.installed) {
+        // Template hit: the whole job is already placed; no round needed for
+        // it. Book the placements now — callbacks fire in the same
+        // admitted-then-placed order a round would produce.
+        needs_round = false;
+        const SimTime placed_at = clock_->Now();
+        for (const SchedulingDelta& delta : install.deltas) {
+          BookPlacement(delta.task, delta.to, placed_at);
+        }
       }
       break;
     }
@@ -174,6 +195,28 @@ void SchedulerService::ApplyEvent(ServiceEvent& event) {
     }
   }
   counts_.events_admitted.fetch_add(1, std::memory_order_relaxed);
+  return needs_round;
+}
+
+void SchedulerService::BookPlacement(TaskId task, MachineId machine, SimTime now) {
+  bool first = false;
+  {
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    auto it = pending_place_.find(task);
+    if (it != pending_place_.end()) {
+      first = true;
+      latency_.Add(static_cast<double>(now - it->second.enqueue) / 1e6);
+      wall_latency_.Add(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                      it->second.wall_enqueue)
+                            .count());
+      pending_place_.erase(it);
+    }
+  }
+  (first ? counts_.tasks_placed : counts_.re_placements)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (on_placed_) {
+    on_placed_(task, machine, now);
+  }
 }
 
 RackId SchedulerService::ResolveRack(RackId rack) {
@@ -242,10 +285,16 @@ size_t SchedulerService::DrainAdmission(bool force) {
   }
   queued_events_.fetch_sub(batch.size(), std::memory_order_release);
   queued_tasks_.fetch_sub(batch_tasks, std::memory_order_release);
+  bool needs_round = false;
   for (ServiceEvent& event : batch) {
-    ApplyEvent(event);
+    needs_round |= ApplyEvent(event);
   }
-  pending_round_work_ = true;
+  // An all-template-hit batch leaves nothing for a round to do: its
+  // placements are booked and no graph work is pending, so the solve
+  // pipeline is bypassed entirely.
+  if (needs_round) {
+    pending_round_work_ = true;
+  }
   return batch.size();
 }
 
@@ -279,21 +328,7 @@ void SchedulerService::FinishRound() {
     if (delta.kind != SchedulingDelta::Kind::kPlace) {
       continue;
     }
-    bool first = false;
-    {
-      std::unique_lock<std::mutex> lock(stats_mutex_);
-      auto it = pending_place_.find(delta.task);
-      if (it != pending_place_.end()) {
-        first = true;
-        latency_.Add(static_cast<double>(now - it->second) / 1e6);
-        pending_place_.erase(it);
-      }
-    }
-    (first ? counts_.tasks_placed : counts_.re_placements)
-        .fetch_add(1, std::memory_order_relaxed);
-    if (on_placed_) {
-      on_placed_(delta.task, delta.to, now);
-    }
+    BookPlacement(delta.task, delta.to, now);
   }
   if (on_round_) {
     on_round_(result);
@@ -402,6 +437,10 @@ ServiceCounters SchedulerService::counters() const {
   snapshot.migrations = counts_.migrations.load(std::memory_order_relaxed);
   snapshot.events_ingested_during_solve =
       counts_.events_ingested_during_solve.load(std::memory_order_relaxed);
+  snapshot.template_hits = counts_.template_hits.load(std::memory_order_relaxed);
+  snapshot.template_misses = counts_.template_misses.load(std::memory_order_relaxed);
+  snapshot.template_validation_failures =
+      counts_.template_validation_failures.load(std::memory_order_relaxed);
   {
     std::unique_lock<std::mutex> lock(stats_mutex_);
     snapshot.pending_first_placements = pending_place_.size();
@@ -412,6 +451,11 @@ ServiceCounters SchedulerService::counters() const {
 Distribution SchedulerService::submit_to_placement_latency() const {
   std::unique_lock<std::mutex> lock(stats_mutex_);
   return latency_;
+}
+
+Distribution SchedulerService::submit_to_placement_wall_latency() const {
+  std::unique_lock<std::mutex> lock(stats_mutex_);
+  return wall_latency_;
 }
 
 }  // namespace firmament

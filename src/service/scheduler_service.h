@@ -22,6 +22,7 @@
 #define SRC_SERVICE_SCHEDULER_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -82,6 +83,12 @@ struct ServiceCounters {
   uint64_t re_placements = 0;   // placements after eviction/preemption
   uint64_t preemptions = 0;
   uint64_t migrations = 0;
+  // Placement-template fast path (cumulative, from the scheduler's cache):
+  // hits bypass the solve pipeline entirely — their submissions create no
+  // round work and their placements are booked at admission time.
+  uint64_t template_hits = 0;
+  uint64_t template_misses = 0;
+  uint64_t template_validation_failures = 0;
   // Events applied while a solve was in flight — the pipelining evidence.
   uint64_t events_ingested_during_solve = 0;
   // Admitted tasks still waiting for their first placement.
@@ -158,6 +165,12 @@ class SchedulerService {
   // unplaced tasks keep their enqueue timestamps across degraded rounds, so
   // the tail stays honest.
   Distribution submit_to_placement_latency() const;
+  // Same first placements measured on the raw wall clock (seconds), immune
+  // to the ServiceClock's time_scale: replay drivers run trace time scaled,
+  // so the trace-time distribution above is dominated by workload
+  // think-time, while this one shows what the control plane itself costs —
+  // µs-scale on template hits, ms-scale through the solver.
+  Distribution submit_to_placement_wall_latency() const;
   FirmamentScheduler& scheduler() { return *scheduler_; }
   const ServiceClock& clock() const { return *clock_; }
 
@@ -173,6 +186,8 @@ class SchedulerService {
     enum class Kind : uint8_t { kSubmitJob, kCompleteTask, kAddMachine, kRemoveMachine };
     Kind kind = Kind::kSubmitJob;
     SimTime enqueue_time = 0;
+    // Raw wall-clock enqueue stamp for the unscaled latency series.
+    std::chrono::steady_clock::time_point wall_enqueue;
     uint64_t submit_seq = 0;
     JobType type = JobType::kBatch;
     int32_t priority = 0;
@@ -190,8 +205,15 @@ class SchedulerService {
   };
 
   void Enqueue(ServiceEvent event);
-  // Applies one admitted event to the scheduler (loop thread only).
-  void ApplyEvent(ServiceEvent& event);
+  // Applies one admitted event to the scheduler (loop thread only). Returns
+  // whether the event left scheduling work for a round — a submission the
+  // template fast path fully installed returns false (its placements are
+  // already booked), everything else true.
+  bool ApplyEvent(ServiceEvent& event);
+  // Placement bookkeeping shared by FinishRound and the template fast path:
+  // latency samples (sim + wall), exactly-once first-placement accounting,
+  // and the on_placed callback.
+  void BookPlacement(TaskId task, MachineId machine, SimTime now);
   // Maps kInvalidRackId to the current service-managed rack, minting a new
   // one every machines_per_rack machines (loop thread / bootstrap only).
   RackId ResolveRack(RackId rack);
@@ -238,11 +260,17 @@ class SchedulerService {
   // Loop-thread state.
   bool pending_round_work_ = false;
 
-  // First-placement bookkeeping: admitted task -> producer enqueue time.
-  // Guarded by stats_mutex_ (written by the loop, read by counters()).
+  // First-placement bookkeeping: admitted task -> producer enqueue stamps
+  // (service-clock and raw wall). Guarded by stats_mutex_ (written by the
+  // loop, read by counters()).
+  struct PendingPlace {
+    SimTime enqueue = 0;
+    std::chrono::steady_clock::time_point wall_enqueue;
+  };
   mutable std::mutex stats_mutex_;
-  std::unordered_map<TaskId, SimTime> pending_place_;
+  std::unordered_map<TaskId, PendingPlace> pending_place_;
   Distribution latency_;
+  Distribution wall_latency_;
 
   struct AtomicCounters {
     std::atomic<uint64_t> jobs_submitted{0};
@@ -260,6 +288,11 @@ class SchedulerService {
     std::atomic<uint64_t> re_placements{0};
     std::atomic<uint64_t> preemptions{0};
     std::atomic<uint64_t> migrations{0};
+    // Mirrors of the scheduler's template-cache counters, bumped at
+    // admission time so counters() stays loop-thread-free.
+    std::atomic<uint64_t> template_hits{0};
+    std::atomic<uint64_t> template_misses{0};
+    std::atomic<uint64_t> template_validation_failures{0};
     std::atomic<uint64_t> events_ingested_during_solve{0};
   };
   AtomicCounters counts_;

@@ -41,12 +41,26 @@ void ClusterSimulator::HandleJobArrival(size_t job_index) {
       tasks[i].input_blocks = block_store_->AllocateInput(spec.task_input_bytes[i]);
     }
   }
-  JobId job = scheduler_->SubmitJob(spec.type, spec.priority, std::move(tasks), now);
+  TemplateInstallResult install;
+  JobId job = scheduler_->SubmitJob(spec.type, spec.priority, std::move(tasks), now, &install);
   JobTracking tracking;
   tracking.submit = now;
   tracking.remaining = spec.task_runtimes.size();
   tracking.type = spec.type;
   job_tracking_.emplace(job, tracking);
+  if (install.installed) {
+    // Template hit: the job is already placed — consume the install deltas
+    // the way HandleApplyRound consumes a round's, so the tasks run to
+    // completion. No round work is created for this job.
+    for (const SchedulingDelta& delta : install.deltas) {
+      CHECK(delta.kind == SchedulingDelta::Kind::kPlace);
+      uint64_t epoch = ++placement_epoch_[delta.task];
+      Push(now + cluster_->task(delta.task).runtime, EventKind::kTaskCompletion, delta.task,
+           epoch);
+      ++metrics_.tasks_placed;
+    }
+    return;
+  }
   pending_work_ = true;
 }
 
@@ -300,6 +314,10 @@ SimulationMetrics ClusterSimulator::Run() {
   }
   metrics_.placement_latency_seconds = scheduler_->placement_latency();
   metrics_.algorithm_runtime_seconds = scheduler_->algorithm_runtime();
+  const PlacementTemplateStats& tstats = scheduler_->template_stats();
+  metrics_.template_hits = tstats.hits;
+  metrics_.template_misses = tstats.misses;
+  metrics_.template_validation_failures = tstats.validation_failures;
   return metrics_;
 }
 

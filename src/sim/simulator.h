@@ -64,6 +64,12 @@ struct SimulationMetrics {
   size_t tasks_resubmitted = 0;
   size_t deltas_dropped = 0;  // mid-round machine deaths invalidating deltas
   size_t recovery_actions = 0;
+  // Placement-template fast path (cumulative from the scheduler's cache;
+  // zero unless FirmamentSchedulerOptions::enable_templates). A hit installs
+  // the whole job at submit time without a scheduling round.
+  uint64_t template_hits = 0;
+  uint64_t template_misses = 0;
+  uint64_t template_validation_failures = 0;
   std::vector<RoundLogEntry> round_log;
 };
 

@@ -440,6 +440,12 @@ TraceReplayReport TraceReplayDriver::Replay(MergedTraceStream* stream) {
     }
     std::this_thread::sleep_for(kDrainPoll);
   }
+  {
+    const ServiceCounters counters = service_->counters();
+    report_.template_hits = counters.template_hits;
+    report_.template_misses = counters.template_misses;
+    report_.template_validation_failures = counters.template_validation_failures;
+  }
   return report_;
 }
 

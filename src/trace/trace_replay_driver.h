@@ -99,6 +99,11 @@ struct TraceReplayReport {
   uint64_t completions_delivered = 0;
   uint64_t deferred_kills = 0;  // kills that waited for the lineage's placement
   bool drain_timed_out = false;
+  // Placement-template fast path (from the scheduler's cache at replay end;
+  // zero unless the scheduler was built with enable_templates).
+  uint64_t template_hits = 0;
+  uint64_t template_misses = 0;
+  uint64_t template_validation_failures = 0;
 
   // Sum of the per-event buckets; the zero-event-loss identity is
   // accounted() == events_consumed.

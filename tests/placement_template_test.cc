@@ -1,0 +1,356 @@
+// Placement-template coverage: recurring-job fuzz vs a forced-solver
+// reference, validation-failure fallback placement equality, integrity
+// after installs, and exact-count eviction on machine removal /
+// MarkEquivClass / out-of-band machine edits.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/core/load_spreading_policy.h"
+#include "src/core/placement_template.h"
+#include "src/core/scheduler.h"
+
+namespace firmament {
+namespace {
+
+constexpr SimTime kSec = kMicrosPerSecond;
+
+// --- Cache unit tests -------------------------------------------------------
+
+TEST(PlacementTemplateCacheTest, RecordLookupEvict) {
+  PlacementTemplateCache cache;
+  TemplateKey key{1, 2};
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Record(key, {0, 1}, {7});
+  const PlacementTemplate* tmpl = cache.Lookup(key);
+  ASSERT_NE(tmpl, nullptr);
+  EXPECT_EQ(tmpl->machines, (std::vector<MachineId>{0, 1}));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.Evict(key);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(PlacementTemplateCacheTest, OverwriteCountsOneEviction) {
+  PlacementTemplateCache cache;
+  TemplateKey key{1, 2};
+  cache.Record(key, {0}, {7});
+  cache.Record(key, {1}, {7});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().recordings, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  const PlacementTemplate* tmpl = cache.Lookup(key);
+  ASSERT_NE(tmpl, nullptr);
+  EXPECT_EQ(tmpl->machines, (std::vector<MachineId>{1}));
+}
+
+TEST(PlacementTemplateCacheTest, MachineAndClassIndicesEvictExactly) {
+  PlacementTemplateCache cache;
+  cache.Record({1, 1}, {0, 1}, {7});
+  cache.Record({2, 1}, {1, 2}, {8});
+  cache.Record({3, 1}, {2}, {7, 9});
+  // Machine 1 appears in two templates; each counts one eviction.
+  cache.EvictMachine(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // Class 7 now appears only in the survivor.
+  cache.EvictClass(7);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  // Indices were maintained through the evictions: nothing double-counts.
+  cache.EvictMachine(0);
+  cache.EvictMachine(2);
+  cache.EvictClass(8);
+  cache.EvictClass(9);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST(PlacementTemplateCacheTest, CapacityOverflowClearsWholesale) {
+  PlacementTemplateCache cache(/*capacity=*/2);
+  cache.Record({1, 1}, {0}, {7});
+  cache.Record({2, 1}, {0}, {7});
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Record({3, 1}, {0}, {7});
+  // The overflow dropped both residents before admitting the newcomer.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_NE(cache.Lookup({3, 1}), nullptr);
+  EXPECT_EQ(cache.Lookup({1, 1}), nullptr);
+}
+
+// --- Scheduler-level fixtures -----------------------------------------------
+
+struct Stack {
+  ClusterState cluster;
+  std::unique_ptr<LoadSpreadingPolicy> policy;
+  std::unique_ptr<FirmamentScheduler> scheduler;
+};
+
+std::unique_ptr<Stack> MakeStack(int machines, int slots, bool templates,
+                                 bool check_integrity = false) {
+  auto stack = std::make_unique<Stack>();
+  stack->policy = std::make_unique<LoadSpreadingPolicy>(&stack->cluster);
+  FirmamentSchedulerOptions options;
+  // Deterministic solver: the fallback-equality tests compare placements
+  // against a reference stack byte for byte.
+  options.solver.mode = SolverMode::kCostScalingOnly;
+  options.enable_templates = templates;
+  options.check_integrity = check_integrity;
+  stack->scheduler =
+      std::make_unique<FirmamentScheduler>(&stack->cluster, stack->policy.get(), options);
+  RackId rack = stack->cluster.AddRack();
+  for (int m = 0; m < machines; ++m) {
+    stack->scheduler->AddMachine(rack, MachineSpec{.slots = slots});
+  }
+  return stack;
+}
+
+JobId SubmitShape(Stack* stack, int tasks, SimTime now,
+                  TemplateInstallResult* install = nullptr) {
+  return stack->scheduler->SubmitJob(
+      JobType::kBatch, 0, std::vector<TaskDescriptor>(static_cast<size_t>(tasks)), now,
+      install);
+}
+
+void CompleteJob(Stack* stack, JobId job, SimTime now) {
+  std::vector<TaskId> tasks = stack->cluster.job(job).tasks;
+  for (TaskId task : tasks) {
+    stack->scheduler->CompleteTask(task, now);
+  }
+}
+
+// Asserts the two clusters track the same tasks in the same states on the
+// same machines (valid while the templated stack has installed nothing).
+void ExpectIdenticalPlacements(Stack* a, Stack* b, const char* context) {
+  std::vector<TaskId> live_a = a->cluster.LiveTasks();
+  std::vector<TaskId> live_b = b->cluster.LiveTasks();
+  ASSERT_EQ(live_a.size(), live_b.size()) << context;
+  for (TaskId task : live_a) {
+    ASSERT_TRUE(b->cluster.HasTask(task)) << context;
+    const TaskDescriptor& da = a->cluster.task(task);
+    const TaskDescriptor& db = b->cluster.task(task);
+    EXPECT_EQ(da.state, db.state) << context << " task " << task;
+    EXPECT_EQ(da.machine, db.machine) << context << " task " << task;
+  }
+}
+
+// --- Install behaviour ------------------------------------------------------
+
+TEST(PlacementTemplateTest, RecurringJobInstallsAfterFirstSolve) {
+  auto stack = MakeStack(4, 4, /*templates=*/true);
+  JobId first = SubmitShape(stack.get(), 6, kSec);
+  stack->scheduler->RunSchedulingRound(kSec);
+  EXPECT_EQ(stack->cluster.UsedSlots(), 6);
+  EXPECT_EQ(stack->scheduler->template_stats().misses, 1u);
+  EXPECT_EQ(stack->scheduler->template_stats().recordings, 1u);
+  CompleteJob(stack.get(), first, 2 * kSec);
+
+  TemplateInstallResult install;
+  JobId second = SubmitShape(stack.get(), 6, 3 * kSec, &install);
+  EXPECT_TRUE(install.eligible);
+  EXPECT_TRUE(install.hit);
+  EXPECT_TRUE(install.installed);
+  EXPECT_EQ(install.deltas.size(), 6u);
+  // Installed without a round: every task already running.
+  EXPECT_EQ(stack->cluster.UsedSlots(), 6);
+  for (TaskId task : stack->cluster.job(second).tasks) {
+    EXPECT_EQ(stack->cluster.task(task).state, TaskState::kRunning);
+  }
+  EXPECT_EQ(stack->scheduler->template_stats().hits, 1u);
+}
+
+TEST(PlacementTemplateTest, ValidationFailureFallsBackToByteIdenticalSolve) {
+  auto templated = MakeStack(2, 2, /*templates=*/true);
+  auto reference = MakeStack(2, 2, /*templates=*/false);
+
+  // Shape A solves and records (templated) / just solves (reference).
+  JobId a1_t = SubmitShape(templated.get(), 3, kSec);
+  JobId a1_r = SubmitShape(reference.get(), 3, kSec);
+  ASSERT_EQ(a1_t, a1_r);
+  templated->scheduler->RunSchedulingRound(kSec);
+  reference->scheduler->RunSchedulingRound(kSec);
+  ExpectIdenticalPlacements(templated.get(), reference.get(), "first solve");
+  CompleteJob(templated.get(), a1_t, 2 * kSec);
+  CompleteJob(reference.get(), a1_r, 2 * kSec);
+
+  // Filler (different shape -> different signature) occupies 3 of 4 slots.
+  SubmitShape(templated.get(), 3, 3 * kSec);
+  SubmitShape(reference.get(), 3, 3 * kSec);
+  templated->scheduler->RunSchedulingRound(3 * kSec);
+  reference->scheduler->RunSchedulingRound(3 * kSec);
+  ExpectIdenticalPlacements(templated.get(), reference.get(), "filler");
+
+  // Shape A again: the lookup hits, but its cached machines no longer have
+  // 3 free slots -> validation rejects, and the fallback solve must place
+  // exactly what a never-cached scheduler places.
+  TemplateInstallResult install;
+  SubmitShape(templated.get(), 3, 4 * kSec, &install);
+  SubmitShape(reference.get(), 3, 4 * kSec);
+  EXPECT_TRUE(install.eligible);
+  EXPECT_TRUE(install.hit);
+  EXPECT_TRUE(install.validation_failed);
+  EXPECT_FALSE(install.installed);
+  EXPECT_EQ(templated->scheduler->template_stats().validation_failures, 1u);
+  templated->scheduler->RunSchedulingRound(4 * kSec);
+  reference->scheduler->RunSchedulingRound(4 * kSec);
+  ExpectIdenticalPlacements(templated.get(), reference.get(), "fallback");
+}
+
+TEST(PlacementTemplateTest, RecurringJobFuzzMatchesForcedSolverReference) {
+  auto templated = MakeStack(4, 4, /*templates=*/true, /*check_integrity=*/true);
+  auto reference = MakeStack(4, 4, /*templates=*/false);
+  Rng rng(99);
+  SimTime now = 0;
+  std::vector<JobId> live;
+  const int shapes[] = {2, 3, 4};
+
+  for (int step = 0; step < 40; ++step) {
+    now += kSec;
+    double choice = rng.NextDouble();
+    if (choice < 0.55 || live.empty()) {
+      int tasks = shapes[rng.NextInt(0, 2)];
+      JobId jt = SubmitShape(templated.get(), tasks, now);
+      JobId jr = SubmitShape(reference.get(), tasks, now);
+      ASSERT_EQ(jt, jr);
+      live.push_back(jt);
+    } else if (choice < 0.85) {
+      size_t victim = static_cast<size_t>(rng.NextInt(0, static_cast<int64_t>(live.size()) - 1));
+      CompleteJob(templated.get(), live[victim], now);
+      CompleteJob(reference.get(), live[victim], now);
+      live.erase(live.begin() + static_cast<long>(victim));
+    }
+    SchedulerRoundResult rt = templated->scheduler->RunSchedulingRound(now);
+    reference->scheduler->RunSchedulingRound(now);
+    // Installs never corrupt cross-layer state: the integrity pass at every
+    // round start must stay clean (recovery would surface actions here).
+    EXPECT_TRUE(rt.recovery_actions.empty()) << "step " << step;
+
+    // With capacity ample, both schedulers run every live task; the
+    // template path may pick different machines (cached vs least-loaded)
+    // but never loses or duplicates a task.
+    size_t running_t = 0;
+    size_t running_r = 0;
+    for (JobId job : live) {
+      for (TaskId task : templated->cluster.job(job).tasks) {
+        running_t += templated->cluster.task(task).state == TaskState::kRunning ? 1u : 0u;
+      }
+      for (TaskId task : reference->cluster.job(job).tasks) {
+        running_r += reference->cluster.task(task).state == TaskState::kRunning ? 1u : 0u;
+      }
+    }
+    EXPECT_EQ(running_t, running_r) << "step " << step;
+    EXPECT_EQ(templated->cluster.UsedSlots(), reference->cluster.UsedSlots())
+        << "step " << step;
+    for (const MachineDescriptor& machine : templated->cluster.machines()) {
+      EXPECT_LE(machine.running_tasks, machine.spec.slots) << "step " << step;
+    }
+  }
+  // The fuzz actually exercised the fast path.
+  EXPECT_GT(templated->scheduler->template_stats().hits, 0u);
+  EXPECT_GT(templated->scheduler->template_stats().recordings, 0u);
+}
+
+// --- Eviction sources -------------------------------------------------------
+
+TEST(PlacementTemplateTest, MachineRemovalEvictsEachTemplateExactlyOnce) {
+  auto stack = MakeStack(2, 4, /*templates=*/true);
+  JobId j2 = SubmitShape(stack.get(), 2, kSec);
+  stack->scheduler->RunSchedulingRound(kSec);
+  JobId j3 = SubmitShape(stack.get(), 3, 2 * kSec);
+  stack->scheduler->RunSchedulingRound(2 * kSec);
+  ASSERT_EQ(stack->scheduler->template_cache_size(), 2u);
+  const uint64_t before = stack->scheduler->template_stats().evictions;
+  CompleteJob(stack.get(), j2, 3 * kSec);
+  CompleteJob(stack.get(), j3, 3 * kSec);
+  // Job completion drops class refcounts to zero but must NOT evict — the
+  // whole point is that the recurring job's next submission hits.
+  EXPECT_EQ(stack->scheduler->template_cache_size(), 2u);
+  EXPECT_EQ(stack->scheduler->template_stats().evictions, before);
+
+  // Removing both machines evicts each template exactly once, whichever
+  // machines it referenced: 2 templates -> exactly 2 evictions total.
+  stack->scheduler->RemoveMachine(0, 4 * kSec);
+  stack->scheduler->RemoveMachine(1, 4 * kSec);
+  EXPECT_EQ(stack->scheduler->template_cache_size(), 0u);
+  EXPECT_EQ(stack->scheduler->template_stats().evictions, before + 2);
+}
+
+// LoadSpreading never marks its (single) class; this subclass injects one
+// MarkEquivClass, the way a policy with genuinely changing class arcs would.
+class MarkingPolicy : public LoadSpreadingPolicy {
+ public:
+  using LoadSpreadingPolicy::LoadSpreadingPolicy;
+  void CollectDirty(const PolicyUpdate& update, PolicyDirtySink* sink) override {
+    LoadSpreadingPolicy::CollectDirty(update, sink);
+    if (mark_next_) {
+      sink->MarkEquivClass(0);
+      mark_next_ = false;
+    }
+  }
+  void Arm() { mark_next_ = true; }
+
+ private:
+  bool mark_next_ = false;
+};
+
+TEST(PlacementTemplateTest, MarkEquivClassEvictsTemplatesOfThatClass) {
+  ClusterState cluster;
+  MarkingPolicy policy(&cluster);
+  FirmamentSchedulerOptions options;
+  options.solver.mode = SolverMode::kCostScalingOnly;
+  options.enable_templates = true;
+  FirmamentScheduler scheduler(&cluster, &policy, options);
+  RackId rack = cluster.AddRack();
+  for (int m = 0; m < 2; ++m) {
+    scheduler.AddMachine(rack, MachineSpec{.slots = 4});
+  }
+
+  JobId job = scheduler.SubmitJob(JobType::kBatch, 0, std::vector<TaskDescriptor>(3), kSec);
+  scheduler.RunSchedulingRound(kSec);
+  ASSERT_EQ(scheduler.template_cache_size(), 1u);
+  std::vector<TaskId> tasks = cluster.job(job).tasks;
+  for (TaskId task : tasks) {
+    scheduler.CompleteTask(task, 2 * kSec);
+  }
+  const uint64_t before = scheduler.template_stats().evictions;
+
+  // The next round's UpdateRound processes the mark; the class listener
+  // must evict exactly the one template containing class 0.
+  policy.Arm();
+  scheduler.RunSchedulingRound(3 * kSec);
+  EXPECT_EQ(scheduler.template_cache_size(), 0u);
+  EXPECT_EQ(scheduler.template_stats().evictions, before + 1);
+
+  // The shape misses (and re-records) after the invalidation.
+  TemplateInstallResult install;
+  scheduler.SubmitJob(JobType::kBatch, 0, std::vector<TaskDescriptor>(3), 4 * kSec, &install);
+  EXPECT_TRUE(install.eligible);
+  EXPECT_FALSE(install.hit);
+}
+
+TEST(PlacementTemplateTest, OutOfBandMachineEditEvictsBeforeNextLookup) {
+  auto stack = MakeStack(2, 4, /*templates=*/true);
+  JobId job = SubmitShape(stack.get(), 4, kSec);
+  stack->scheduler->RunSchedulingRound(kSec);
+  ASSERT_EQ(stack->scheduler->template_cache_size(), 1u);
+  CompleteJob(stack.get(), job, 2 * kSec);
+
+  // Out-of-band descriptor edit: the template solved against stale inputs.
+  // Both machines carry template tasks, but the template still evicts once.
+  stack->cluster.mutable_machine(0);
+  const uint64_t before = stack->scheduler->template_stats().evictions;
+  TemplateInstallResult install;
+  SubmitShape(stack.get(), 4, 3 * kSec, &install);
+  EXPECT_TRUE(install.eligible);
+  EXPECT_FALSE(install.hit);
+  EXPECT_FALSE(install.installed);
+  EXPECT_EQ(stack->scheduler->template_stats().evictions, before + 1);
+  EXPECT_EQ(stack->scheduler->template_cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace firmament

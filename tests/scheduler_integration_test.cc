@@ -423,6 +423,64 @@ TEST(MidRoundStagingTest, AddMachineMidRoundMintsIdEagerlyStagesNode) {
   VerifyInvariants(stack.get(), "add mid-round");
 }
 
+TEST(MidRoundStagingTest, DuplicateTemplateInstallsMidRoundStageCleanly) {
+  // Two identical-signature submissions landing while a round is in flight
+  // must both install from the template (fresh task ids each), stage their
+  // graph halves, and replay without tripping the duplicate-delivery
+  // counter — installs mint new tasks, they never re-deliver old ones.
+  auto stack = std::make_unique<Stack>();
+  stack->policy = std::make_unique<LoadSpreadingPolicy>(&stack->cluster);
+  FirmamentSchedulerOptions options;
+  options.enable_templates = true;
+  stack->scheduler =
+      std::make_unique<FirmamentScheduler>(&stack->cluster, stack->policy.get(), options);
+  RackId rack = stack->cluster.AddRack();
+  for (int m = 0; m < 2; ++m) {
+    stack->scheduler->AddMachine(rack, MachineSpec{.slots = 4});
+  }
+
+  // Record the template: solve one instance of the shape, then free it.
+  JobId warm = stack->scheduler->SubmitJob(JobType::kBatch, 0,
+                                           std::vector<TaskDescriptor>(2, TaskDescriptor{}), 0);
+  stack->scheduler->RunSchedulingRound(kSec);
+  for (TaskId task : stack->cluster.job(warm).tasks) {
+    stack->scheduler->CompleteTask(task, kSec + 1);
+  }
+
+  stack->scheduler->StartRound(2 * kSec);
+  TemplateInstallResult first;
+  TemplateInstallResult second;
+  JobId job1 = stack->scheduler->SubmitJob(
+      JobType::kBatch, 0, std::vector<TaskDescriptor>(2, TaskDescriptor{}), 2 * kSec + 1,
+      &first);
+  JobId job2 = stack->scheduler->SubmitJob(
+      JobType::kBatch, 0, std::vector<TaskDescriptor>(2, TaskDescriptor{}), 2 * kSec + 2,
+      &second);
+  EXPECT_TRUE(first.installed);
+  EXPECT_TRUE(second.installed) << "second install validated against post-first capacity";
+  // Cluster half eager: both jobs running mid-round; graph half staged.
+  for (JobId job : {job1, job2}) {
+    for (TaskId task : stack->cluster.job(job).tasks) {
+      EXPECT_EQ(stack->cluster.task(task).state, TaskState::kRunning);
+      EXPECT_FALSE(stack->scheduler->graph_manager().HasTask(task));
+    }
+  }
+  EXPECT_EQ(stack->scheduler->staged_events(), 2u);
+
+  stack->scheduler->ApplyRound(2 * kSec + 1000);
+  EXPECT_EQ(stack->scheduler->staged_events(), 0u);
+  EXPECT_EQ(stack->scheduler->event_counters().ignored_task_submissions, 0u);
+  for (JobId job : {job1, job2}) {
+    for (TaskId task : stack->cluster.job(job).tasks) {
+      EXPECT_TRUE(stack->scheduler->graph_manager().HasTask(task));
+    }
+  }
+  EXPECT_EQ(stack->cluster.UsedSlots(), 4);
+  EXPECT_EQ(stack->scheduler->template_stats().hits, 2u);
+  stack->scheduler->RunSchedulingRound(3 * kSec);
+  VerifyInvariants(stack.get(), "duplicate template installs mid-round");
+}
+
 // The async round (StartRoundAsync + ApplyRound) must produce exactly what
 // the synchronous phase split produces for the same event script — the
 // solve merely moved to the solver's dispatch worker.
