@@ -126,6 +126,18 @@ bool ClusterState::CompleteTask(TaskId task_id, SimTime now) {
   return true;
 }
 
+bool ClusterState::WithdrawTask(TaskId task_id, SimTime now) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end() || it->second.state != TaskState::kWaiting) {
+    return false;  // placed/completed since the withdraw was decided
+  }
+  TaskDescriptor& task = it->second;
+  task.state = TaskState::kCompleted;
+  task.finish_time = now;
+  dirty_tasks_.insert(task_id);
+  return true;
+}
+
 bool ClusterState::ForgetTask(TaskId task_id) {
   auto it = tasks_.find(task_id);
   if (it == tasks_.end() || it->second.state != TaskState::kCompleted) {

@@ -124,6 +124,12 @@ class ClusterState {
   bool PlaceTask(TaskId task, MachineId machine, SimTime now);
   bool EvictTask(TaskId task, SimTime now);
   bool CompleteTask(TaskId task, SimTime now);
+  // Retires a *waiting* task (kWaiting -> kCompleted) without ever running
+  // it: the federation coordinator's spill/rebalance path withdraws a job
+  // from one cell to resubmit it in another. No machine statistics to
+  // unwind; the terminal state lets the standard staged-completion replay
+  // (graph RemoveTask + ForgetTask) retire it unmodified.
+  bool WithdrawTask(TaskId task, SimTime now);
   // Erases a completed task's descriptor (jobs keep their id lists).
   bool ForgetTask(TaskId task);
 

@@ -270,6 +270,30 @@ void FirmamentScheduler::CompleteTask(TaskId task, SimTime now) {
   cluster_->ForgetTask(task);
 }
 
+bool FirmamentScheduler::WithdrawTask(TaskId task, SimTime now) {
+  // Only a still-waiting task may be withdrawn: a placement that landed
+  // since the caller decided to move the job wins the claim race, and a
+  // duplicate withdraw is a counted no-op (same contract as completions).
+  if (!cluster_->HasTask(task) || cluster_->task(task).state != TaskState::kWaiting) {
+    ++event_counters_.ignored_task_withdrawals;
+    return false;
+  }
+  cluster_->WithdrawTask(task, now);
+  if (round_in_flight_) {
+    // kCompleted is terminal either way, so the staged-completion replay
+    // (graph RemoveTask, then ForgetTask) retires a withdrawal unchanged;
+    // extraction skips the descriptor meanwhile.
+    StagedEvent event;
+    event.kind = StagedEvent::Kind::kTaskCompleted;
+    event.task = task;
+    event_stage_.Stage(std::move(event));
+    return true;
+  }
+  graph_manager_.RemoveTask(task);
+  cluster_->ForgetTask(task);
+  return true;
+}
+
 void FirmamentScheduler::ReplayStagedEvents() {
   // Replayed after extraction, in arrival order. Each event's validity was
   // checked against (and its cluster half applied to) live cluster state at

@@ -75,6 +75,7 @@ struct SchedulerEventCounters {
   size_t ignored_machine_removals = 0;  // machine unknown or already dead
   size_t ignored_task_completions = 0;  // task unknown, waiting, or done
   size_t ignored_task_submissions = 0;  // task already tracked by the graph
+  size_t ignored_task_withdrawals = 0;  // task unknown, running, or done
 };
 
 struct FirmamentSchedulerOptions {
@@ -152,6 +153,14 @@ class FirmamentScheduler {
                   SimTime now, TemplateInstallResult* install = nullptr);
   // Marks a running task completed and removes it from the graph.
   void CompleteTask(TaskId task, SimTime now);
+
+  // Retires a *waiting* task without running it — the federation
+  // coordinator's spill/rebalance path, which resubmits the job in a
+  // sibling cell. Idempotent duplicate-claim backstop: if the task was
+  // placed (this cell claimed it) or completed since the withdraw was
+  // decided, nothing changes, ignored_task_withdrawals is bumped, and
+  // false comes back so the caller aborts the move — the local claim wins.
+  bool WithdrawTask(TaskId task, SimTime now);
 
   // --- Scheduling ---------------------------------------------------------------
   SchedulerRoundResult RunSchedulingRound(SimTime now);

@@ -22,6 +22,15 @@ SchedulerService::SchedulerService(FirmamentScheduler* scheduler, ServiceClock* 
     : scheduler_(scheduler), clock_(clock), options_(options) {
   CHECK_GT(options_.admission.queue_shards, 0u);
   CHECK_GT(options_.admission.max_batch_tasks, 0u);
+  if (options_.cells >= 2) {
+    // Federated mode needs a cell policy factory.
+    CHECK(options_.cell_policy_factory != nullptr);
+    federation_ = std::make_unique<FederationCoordinator>(
+        options_.cells, options_.cell_policy_factory, options_.federation);
+    scheduler_ = nullptr;  // cells own their schedulers; no central one
+  } else {
+    CHECK(scheduler_ != nullptr);
+  }
   shards_.reserve(options_.admission.queue_shards);
   for (size_t i = 0; i < options_.admission.queue_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -100,6 +109,9 @@ MachineId SchedulerService::AddMachine(RackId rack, const MachineSpec& spec) {
   if (!running_) {
     // Bootstrap: the caller owns the loop's role; apply inline. The
     // scheduler stages the graph half itself if a manual round is open.
+    if (federation_ != nullptr) {
+      return federation_->AddMachine(ResolveRack(rack), spec);
+    }
     return scheduler_->AddMachine(ResolveRack(rack), spec);
   }
   // Ids are minted by the cluster on the loop thread; block for the
@@ -135,16 +147,27 @@ bool SchedulerService::ApplyEvent(ServiceEvent& event) {
   switch (event.kind) {
     case ServiceEvent::Kind::kSubmitJob: {
       TemplateInstallResult install;
-      JobId job = scheduler_->SubmitJob(event.type, event.priority, std::move(event.tasks),
-                                        now, &install);
-      const JobDescriptor& desc = scheduler_->cluster().job(job);
+      JobId job;
+      std::vector<TaskId> federated_ids;
+      const std::vector<TaskId>* ids;
+      if (federation_ != nullptr) {
+        // The coordinator routes the job to a cell and reports global ids
+        // (and install deltas already translated to global).
+        job = federation_->SubmitJob(event.type, event.priority, std::move(event.tasks),
+                                     now, &install, &federated_ids);
+        ids = &federated_ids;
+      } else {
+        job = scheduler_->SubmitJob(event.type, event.priority, std::move(event.tasks),
+                                    now, &install);
+        ids = &scheduler_->cluster().job(job).tasks;
+      }
       {
         std::unique_lock<std::mutex> lock(stats_mutex_);
-        for (TaskId task : desc.tasks) {
+        for (TaskId task : *ids) {
           pending_place_.emplace(task, PendingPlace{event.enqueue_time, event.wall_enqueue});
         }
       }
-      counts_.tasks_admitted.fetch_add(desc.tasks.size(), std::memory_order_relaxed);
+      counts_.tasks_admitted.fetch_add(ids->size(), std::memory_order_relaxed);
       if (install.eligible) {
         (install.hit ? counts_.template_hits : counts_.template_misses)
             .fetch_add(1, std::memory_order_relaxed);
@@ -153,7 +176,7 @@ bool SchedulerService::ApplyEvent(ServiceEvent& event) {
         }
       }
       if (on_admitted_) {
-        on_admitted_(event.submit_seq, job, desc.tasks);
+        on_admitted_(event.submit_seq, job, *ids);
       }
       if (install.installed) {
         // Template hit: the whole job is already placed; no round needed for
@@ -168,16 +191,24 @@ bool SchedulerService::ApplyEvent(ServiceEvent& event) {
       break;
     }
     case ServiceEvent::Kind::kCompleteTask: {
-      const ClusterState& cluster = scheduler_->cluster();
-      bool fresh = cluster.HasTask(event.task) &&
-                   cluster.task(event.task).state == TaskState::kRunning;
-      scheduler_->CompleteTask(event.task, now);
+      bool fresh;
+      if (federation_ != nullptr) {
+        fresh = federation_->IsTaskRunning(event.task);
+        federation_->CompleteTask(event.task, now);
+      } else {
+        const ClusterState& cluster = scheduler_->cluster();
+        fresh = cluster.HasTask(event.task) &&
+                cluster.task(event.task).state == TaskState::kRunning;
+        scheduler_->CompleteTask(event.task, now);
+      }
       (fresh ? counts_.completions_applied : counts_.completions_ignored)
           .fetch_add(1, std::memory_order_relaxed);
       break;
     }
     case ServiceEvent::Kind::kAddMachine: {
-      MachineId id = scheduler_->AddMachine(ResolveRack(event.rack), event.spec);
+      MachineId id = federation_ != nullptr
+                         ? federation_->AddMachine(ResolveRack(event.rack), event.spec)
+                         : scheduler_->AddMachine(ResolveRack(event.rack), event.spec);
       std::unique_lock<std::mutex> lock(event.pending_add->mutex);
       event.pending_add->id = id;
       event.pending_add->done = true;
@@ -190,7 +221,11 @@ bool SchedulerService::ApplyEvent(ServiceEvent& event) {
         MachineId machine = event.machine;
         on_removed = [this, machine] { on_machine_removed_(machine); };
       }
-      scheduler_->RemoveMachine(event.machine, now, std::move(on_removed));
+      if (federation_ != nullptr) {
+        federation_->RemoveMachine(event.machine, now, std::move(on_removed));
+      } else {
+        scheduler_->RemoveMachine(event.machine, now, std::move(on_removed));
+      }
       break;
     }
   }
@@ -224,7 +259,8 @@ RackId SchedulerService::ResolveRack(RackId rack) {
     return rack;
   }
   if (auto_rack_ == kInvalidRackId || auto_rack_fill_ >= options_.machines_per_rack) {
-    auto_rack_ = scheduler_->cluster().AddRack();
+    auto_rack_ = federation_ != nullptr ? federation_->AddRack()
+                                        : scheduler_->cluster().AddRack();
     auto_rack_fill_ = 0;
   }
   ++auto_rack_fill_;
@@ -300,6 +336,17 @@ size_t SchedulerService::DrainAdmission(bool force) {
 
 void SchedulerService::StartServiceRound() {
   pending_round_work_ = false;
+  if (federation_ != nullptr) {
+    // Federated rounds are synchronous from the loop's point of view: the
+    // coordinator overlaps across cells internally (its ThreadPool), not
+    // across ingest, so the pipeline knob does not apply.
+    FederationRoundResult round = federation_->RunRound(clock_->Now());
+    AccountRound(round.merged);
+    if (round.needs_followup) {
+      pending_round_work_ = true;
+    }
+    return;
+  }
   if (options_.pipeline) {
     scheduler_->StartRoundAsync(clock_->Now());
   } else {
@@ -308,8 +355,7 @@ void SchedulerService::StartServiceRound() {
   }
 }
 
-void SchedulerService::FinishRound() {
-  SchedulerRoundResult result = scheduler_->ApplyRound(clock_->Now());
+void SchedulerService::AccountRound(const SchedulerRoundResult& result) {
   const SimTime now = clock_->Now();
   counts_.rounds.fetch_add(1, std::memory_order_relaxed);
   if (result.outcome == SolveOutcome::kDegraded) {
@@ -335,8 +381,12 @@ void SchedulerService::FinishRound() {
   }
 }
 
+void SchedulerService::FinishRound() {
+  AccountRound(scheduler_->ApplyRound(clock_->Now()));
+}
+
 bool SchedulerService::PumpInternal(bool block_finish) {
-  if (scheduler_->round_in_flight()) {
+  if (RoundInFlight()) {
     // Round N is solving: this is exactly the window where ingest overlaps.
     size_t ingested = DrainAdmission(/*force=*/false);
     if (ingested > 0) {
@@ -396,7 +446,7 @@ void SchedulerService::Stop() {
   // Quiesce on this thread: finish the in-flight round, then force-admit
   // and schedule everything still queued. Admitted tasks may legitimately
   // remain waiting (no capacity); admission work may not.
-  if (scheduler_->round_in_flight()) {
+  if (RoundInFlight()) {
     FinishRound();
   }
   size_t guard = 0;
@@ -406,7 +456,7 @@ void SchedulerService::Stop() {
       break;
     }
     StartServiceRound();
-    if (scheduler_->round_in_flight()) {
+    if (RoundInFlight()) {
       FinishRound();
     }
     // A pathological config (e.g. a solve budget that degrades every drain

@@ -36,6 +36,7 @@
 #include "src/base/metrics.h"
 #include "src/base/service_clock.h"
 #include "src/core/scheduler.h"
+#include "src/federation/federation_coordinator.h"
 
 namespace firmament {
 
@@ -60,6 +61,16 @@ struct SchedulerServiceOptions {
   // without topology information (e.g. from a trace, which has none) are
   // grouped into racks of this size, minted on the loop thread.
   int machines_per_rack = 48;
+  // Federated mode: partition the cluster into this many cells, each with
+  // its own scheduler stack, behind a FederationCoordinator (see
+  // src/federation/). 0 or 1 = today's centralized path, byte-identical
+  // (pinned by test). With cells >= 2 the `scheduler` constructor argument
+  // may be null (the coordinator owns the per-cell schedulers), a
+  // cell_policy_factory is required, and the `pipeline` knob is ignored —
+  // federated rounds overlap across cells, not across ingest.
+  size_t cells = 0;
+  CellPolicyFactory cell_policy_factory;
+  FederationOptions federation;
 };
 
 // Monotonic event/round counters; returned by value as a consistent-enough
@@ -171,7 +182,20 @@ class SchedulerService {
   // think-time, while this one shows what the control plane itself costs —
   // µs-scale on template hits, ms-scale through the solver.
   Distribution submit_to_placement_wall_latency() const;
-  FirmamentScheduler& scheduler() { return *scheduler_; }
+  // Centralized mode only (cells <= 1); federated services have no single
+  // scheduler — use federation() instead.
+  FirmamentScheduler& scheduler() {
+    CHECK(scheduler_ != nullptr);
+    return *scheduler_;
+  }
+  // Null unless options.cells >= 2.
+  FederationCoordinator* federation() { return federation_.get(); }
+  // Mode-agnostic descriptor lookup (loop-thread context only): drivers
+  // reading task payloads from callbacks work against both backends.
+  const TaskDescriptor& task_descriptor(TaskId task) const {
+    return federation_ != nullptr ? federation_->task(task)
+                                  : scheduler_->cluster().task(task);
+  }
   const ServiceClock& clock() const { return *clock_; }
 
  private:
@@ -221,18 +245,26 @@ class SchedulerService {
   // applies up to max_batch_tasks queued tasks. Returns events applied.
   size_t DrainAdmission(bool force);
   SimTime OldestEnqueue();
+  // Round-result bookkeeping shared by the centralized and federated paths:
+  // counters, degraded/preemption follow-up flags, BookPlacement per kPlace
+  // delta, and the on_round callback.
+  void AccountRound(const SchedulerRoundResult& result);
   // Joins the in-flight solve, applies the round, and does the placement
   // bookkeeping (latency samples, exactly-once accounting, callbacks).
   void FinishRound();
   void StartServiceRound();
+  // True while an async (centralized, pipelined) solve is in flight;
+  // federated rounds are synchronous, so always false with cells >= 2.
+  bool RoundInFlight() const { return scheduler_ != nullptr && scheduler_->round_in_flight(); }
   // One loop iteration; `block_finish` = wait for the in-flight solve
   // instead of polling (manual Pump semantics).
   bool PumpInternal(bool block_finish);
   void LoopThread();
 
-  FirmamentScheduler* scheduler_;
+  FirmamentScheduler* scheduler_;  // null in federated mode (cells >= 2)
   ServiceClock* clock_;
   SchedulerServiceOptions options_;
+  std::unique_ptr<FederationCoordinator> federation_;
 
   std::function<void(TaskId, MachineId, SimTime)> on_placed_;
   std::function<void(uint64_t, JobId, const std::vector<TaskId>&)> on_admitted_;

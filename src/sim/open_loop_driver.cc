@@ -34,7 +34,7 @@ OpenLoopDriver::OpenLoopDriver(SchedulerService* service, OpenLoopParams params,
 void OpenLoopDriver::OnPlaced(TaskId task, MachineId machine, SimTime now) {
   (void)machine;
   // Loop-thread context: the cluster is safely readable here.
-  const TaskDescriptor& desc = service_->scheduler().cluster().task(task);
+  const TaskDescriptor& desc = service_->task_descriptor(task);
   ReplayFeedback::TaskInfo info;
   info.runtime = desc.runtime;
   info.input_bytes = desc.input_size_bytes;
